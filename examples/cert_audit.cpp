@@ -1,0 +1,102 @@
+// Certificate-corpus audit: reuse clustering + Heninger-style batch-GCD
+// shared-prime detection over a pile of certificates (the §5.3 analyses as
+// a standalone tool).
+//
+//   ./build/examples/cert_audit
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "crypto/batch_gcd.hpp"
+#include "crypto/keycache.hpp"
+#include "crypto/x509.hpp"
+#include "report/report.hpp"
+#include "util/date.hpp"
+#include "util/hex.hpp"
+
+using namespace opcua_study;
+
+int main() {
+  std::puts("== certificate corpus audit ==\n");
+
+  // Build a corpus: 20 healthy devices, one distributor image copied onto
+  // 6 devices, and 3 devices with a shared prime (broken RNG).
+  KeyFactory keys(777, "");
+  std::vector<Bytes> corpus;
+  auto make_cert = [&](const RsaKeyPair& kp, const std::string& cn, const std::string& org,
+                       HashAlgorithm h) {
+    CertificateSpec spec;
+    spec.subject = {cn, org, "DE"};
+    spec.signature_hash = h;
+    spec.application_uri = "urn:audit:" + cn;
+    spec.not_before_days = days_from_civil({2019, 2, 1});
+    spec.not_after_days = days_from_civil({2029, 2, 1});
+    return x509_create(spec, kp.pub, kp.priv);
+  };
+
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back(make_cert(keys.get("healthy-" + std::to_string(i), 512),
+                               "device-" + std::to_string(i), "Healthy GmbH",
+                               i % 2 ? HashAlgorithm::sha256 : HashAlgorithm::sha1));
+  }
+  const Bytes image_cert = make_cert(keys.get("image", 512), "factory-image",
+                                     "CopyPaste Industrial", HashAlgorithm::sha1);
+  for (int i = 0; i < 6; ++i) corpus.push_back(image_cert);
+  {
+    Rng rng(42);
+    const Bignum shared_p = Bignum::generate_prime(rng, 256, 8);
+    for (int i = 0; i < 3; ++i) {
+      const Bignum q = Bignum::generate_prime(rng, 256, 8);
+      RsaPrivateKey priv;
+      priv.p = shared_p;
+      priv.q = q;
+      priv.n = shared_p * q;
+      priv.e = Bignum{65537};
+      const Bignum phi = (shared_p - Bignum{1}) * (q - Bignum{1});
+      priv.d = Bignum::mod_inverse(priv.e, phi);
+      priv.dp = priv.d % (shared_p - Bignum{1});
+      priv.dq = priv.d % (q - Bignum{1});
+      priv.qinv = Bignum::mod_inverse(q, shared_p);
+      corpus.push_back(make_cert({priv.public_key(), priv}, "weakrng-" + std::to_string(i),
+                                 "BadEntropy AG", HashAlgorithm::sha256));
+    }
+  }
+  std::printf("corpus: %zu certificates\n\n", corpus.size());
+
+  // 1. Reuse clustering by thumbprint.
+  std::map<std::string, std::pair<int, std::string>> clusters;
+  for (const auto& der : corpus) {
+    const Certificate cert = x509_parse(der);
+    auto& cluster = clusters[to_hex(x509_thumbprint(der))];
+    cluster.first++;
+    cluster.second = cert.subject.organization;
+  }
+  std::puts("certificate reuse:");
+  for (const auto& [fp, info] : clusters) {
+    if (info.first < 2) continue;
+    std::printf("  %s... on %d devices (org: %s)  <-- copied key material\n",
+                fp.substr(0, 16).c_str(), info.first, info.second.c_str());
+  }
+
+  // 2. Shared-prime scan (deduplicated moduli).
+  std::set<std::string> seen;
+  std::vector<Bignum> moduli;
+  std::vector<std::string> owner;
+  for (const auto& der : corpus) {
+    const Certificate cert = x509_parse(der);
+    if (seen.insert(cert.public_key.n.to_hex()).second) {
+      moduli.push_back(cert.public_key.n);
+      owner.push_back(cert.subject.common_name);
+    }
+  }
+  const BatchGcdResult result = batch_gcd(moduli);
+  std::puts("\nshared-prime scan (batch GCD):");
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    if (result.shared_factor[i].is_zero()) continue;
+    std::printf("  %-12s shares prime %s... -> private key RECOVERABLE\n", owner[i].c_str(),
+                result.shared_factor[i].to_hex().substr(0, 16).c_str());
+  }
+  std::printf("\n%zu of %zu distinct moduli compromised by shared primes\n",
+              result.affected(), moduli.size());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Longitudinal operator report over a recorded campaign dataset: loads the
+// snapshots cached by the bench suite and summarizes how (little) the
+// security posture changed — the paper's §5.5 told as a report.
+//
+//   ./build/examples/longitudinal_report [snapshot-file]
+#include <cstdio>
+
+#include "assess/assess.hpp"
+#include "report/report.hpp"
+#include "scanner/snapshot_io.hpp"
+#include "util/date.hpp"
+
+using namespace opcua_study;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : ".opcua_study_snapshots.bin";
+  const auto snapshots = load_snapshots(path, 20200209);
+  if (!snapshots || snapshots->empty()) {
+    std::printf("no recorded campaign at %s — run any bench binary first "
+                "(it records the dataset), e.g. ./build/bench/bench_fig3_modes_policies\n",
+                path.c_str());
+    return 0;
+  }
+
+  const LongitudinalStats stats = assess_longitudinal(*snapshots);
+  std::printf("== longitudinal security report (%zu measurements) ==\n\n", stats.weeks.size());
+
+  TextTable table;
+  table.set_header({"measurement", "servers", "deficient", "trend"});
+  for (const auto& week : stats.weeks) {
+    table.add_row({format_date(civil_from_days(week.date_days)), fmt_int(week.servers),
+                   fmt_double(week.deficient_pct, 1) + "%",
+                   render_bar(week.deficient_pct - 85, 10, 24)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nno longitudinal improvement: deficiency stayed at %.1f%% +/- %.1f over the "
+              "whole campaign.\n\n",
+              stats.deficiency_avg, stats.deficiency_std);
+
+  std::printf("certificate hygiene:\n");
+  std::printf("  %zu distinct certificates observed\n", stats.total_distinct_certificates);
+  std::printf("  %zu SHA-1 certificates were *created after* SHA-1 policies were deprecated "
+              "(2017)\n",
+              stats.sha1_after_2017);
+  std::printf("  %zu of them since 2019\n", stats.sha1_after_2019);
+  std::printf("  %zu certificate renewals on static IPs — only %d replaced SHA-1, %d even "
+              "downgraded\n",
+              stats.renewals.size(), stats.sha1_upgrades, stats.downgrades);
+
+  const int first = stats.weeks.front().reuse_devices;
+  const int last = stats.weeks.back().reuse_devices;
+  std::printf("\ncertificate copying continues: the distributor fleet sharing one private key "
+              "grew from %d to %d devices during the campaign.\n",
+              first, last);
+  return 0;
+}

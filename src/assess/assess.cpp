@@ -1,0 +1,529 @@
+#include "assess/assess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/batch_gcd.hpp"
+#include "util/date.hpp"
+#include "util/hex.hpp"
+
+namespace opcua_study {
+
+std::string manufacturer_cluster(const std::string& application_uri) {
+  struct Pattern {
+    const char* needle;
+    const char* cluster;
+  };
+  static const Pattern kPatterns[] = {
+      {"urn:bachmann:", "Bachmann"},
+      {"urn:beckhoff:", "Beckhoff"},
+      {"urn:wago:", "Wago"},
+      {"urn:siemens:", "Siemens"},
+      {"urn:br-automation:", "B&R"},
+      {"urn:unifiedautomation:", "Unified Automation"},
+      {"urn:open62541", "open62541"},
+      {"urn:freeopcua:", "FreeOpcUa"},
+      {"urn:energotec:", "EnergoTec"},
+      {"urn:opcfoundation:ua:lds", "OPC Foundation"},
+  };
+  for (const auto& pattern : kPatterns) {
+    if (application_uri.rfind(pattern.needle, 0) == 0) return pattern.cluster;
+  }
+  return "other";
+}
+
+SecurityPolicy strongest_policy(const HostScanRecord& host) {
+  SecurityPolicy best = SecurityPolicy::None;
+  for (const auto& policy : host.advertised_policies()) {
+    if (policy_info(policy).rank > policy_info(best).rank) best = policy;
+  }
+  return best;
+}
+
+std::optional<Certificate> primary_certificate(const HostScanRecord& host) {
+  for (const auto& ep : host.endpoints) {
+    if (ep.certificate_der.empty()) continue;
+    try {
+      return x509_parse(ep.certificate_der);
+    } catch (const DecodeError&) {
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_deficient(const HostScanRecord& host) {
+  const SecurityPolicy max = strongest_policy(host);
+  if (max == SecurityPolicy::None) return true;
+  if (policy_info(max).deprecated) return true;
+  if (const auto cert = primary_certificate(host)) {
+    if (classify_certificate(max, cert->signature_hash, cert->key_bits()) ==
+        CertConformance::too_weak) {
+      return true;
+    }
+  }
+  if (host.anonymous_offered) return true;
+  return false;
+}
+
+// ----------------------------------------------------------------- Fig 3 --
+
+ModePolicyStats assess_modes_policies(const ScanSnapshot& snapshot) {
+  ModePolicyStats stats;
+  for (const auto& host : snapshot.hosts) {
+    if (host.is_discovery_server()) continue;
+    ++stats.servers;
+
+    const auto modes = host.advertised_modes();
+    MessageSecurityMode weakest_mode = MessageSecurityMode::Invalid;
+    MessageSecurityMode strongest_mode = MessageSecurityMode::Invalid;
+    for (const auto mode : modes) {
+      stats.mode_support[mode]++;
+      if (weakest_mode == MessageSecurityMode::Invalid ||
+          security_mode_rank(mode) < security_mode_rank(weakest_mode)) {
+        weakest_mode = mode;
+      }
+      if (security_mode_rank(mode) > security_mode_rank(strongest_mode)) strongest_mode = mode;
+    }
+    if (weakest_mode != MessageSecurityMode::Invalid) stats.mode_least[weakest_mode]++;
+    if (strongest_mode != MessageSecurityMode::Invalid) stats.mode_most[strongest_mode]++;
+    if (strongest_mode == MessageSecurityMode::None) ++stats.none_only;
+    if (security_mode_rank(strongest_mode) >= security_mode_rank(MessageSecurityMode::Sign)) {
+      ++stats.secure_mode_capable;
+    }
+
+    const auto policies = host.advertised_policies();
+    SecurityPolicy weakest = SecurityPolicy::None;
+    SecurityPolicy strongest = SecurityPolicy::None;
+    int weakest_rank = 1000, strongest_rank = -1;
+    bool any_deprecated = false;
+    for (const auto policy : policies) {
+      stats.policy_support[policy]++;
+      const auto& info = policy_info(policy);
+      any_deprecated |= info.deprecated;
+      if (info.rank < weakest_rank) {
+        weakest_rank = info.rank;
+        weakest = policy;
+      }
+      if (info.rank > strongest_rank) {
+        strongest_rank = info.rank;
+        strongest = policy;
+      }
+    }
+    if (!policies.empty()) {
+      stats.policy_least[weakest]++;
+      stats.policy_most[strongest]++;
+      if (policy_info(weakest).secure) ++stats.strong_enforcing;
+      if (policy_info(strongest).secure) ++stats.strong_capable;
+      if (policy_info(strongest).deprecated) ++stats.deprecated_max;
+    }
+    stats.deprecated_supported += any_deprecated;
+  }
+  return stats;
+}
+
+// ----------------------------------------------------------------- Fig 4 --
+
+CertConformanceStats assess_certificates(const ScanSnapshot& snapshot) {
+  CertConformanceStats stats;
+  for (const auto& host : snapshot.hosts) {
+    if (host.is_discovery_server()) continue;
+    const auto cert = primary_certificate(host);
+    if (!cert) continue;
+    ++stats.hosts_with_cert;
+    if (!cert->self_signed()) ++stats.ca_signed;
+    const CertClassKey key{cert->signature_hash, cert->key_bits()};
+    for (const auto policy : host.advertised_policies()) {
+      stats.class_counts[policy][key]++;
+      stats.announced_with_cert[policy]++;
+      switch (classify_certificate(policy, cert->signature_hash, cert->key_bits())) {
+        case CertConformance::too_weak: stats.too_weak[policy]++; break;
+        case CertConformance::too_strong: stats.too_strong[policy]++; break;
+        case CertConformance::conformant: break;
+      }
+    }
+    const SecurityPolicy max = strongest_policy(host);
+    if (max != SecurityPolicy::None &&
+        classify_certificate(max, cert->signature_hash, cert->key_bits()) ==
+            CertConformance::too_weak) {
+      ++stats.weaker_than_max;
+    }
+  }
+  return stats;
+}
+
+// ----------------------------------------------------------------- Fig 5 --
+
+ReuseStats assess_reuse(const ScanSnapshot& snapshot) {
+  struct ClusterAccumulator {
+    int hosts = 0;
+    std::set<std::uint32_t> ases;
+    std::string org;
+  };
+  std::map<std::string, ClusterAccumulator> clusters;
+  for (const auto& host : snapshot.hosts) {
+    if (host.is_discovery_server()) continue;
+    for (const auto& der : host.distinct_certificates()) {
+      const std::string fp = to_hex(x509_thumbprint(der));
+      auto& cluster = clusters[fp];
+      ++cluster.hosts;
+      cluster.ases.insert(host.asn);
+      if (cluster.org.empty()) {
+        try {
+          cluster.org = x509_parse(der).subject.organization;
+        } catch (const DecodeError&) {
+        }
+      }
+    }
+  }
+  ReuseStats stats;
+  stats.distinct_certificates = static_cast<int>(clusters.size());
+  for (auto& [fp, acc] : clusters) {
+    if (acc.hosts >= 3) {
+      ++stats.clusters_ge3;
+      stats.hosts_in_ge3 += acc.hosts;
+    }
+    if (acc.hosts >= 2) {
+      stats.clusters.push_back({fp, acc.hosts, std::move(acc.ases), std::move(acc.org)});
+    }
+  }
+  std::sort(stats.clusters.begin(), stats.clusters.end(),
+            [](const ReuseCluster& a, const ReuseCluster& b) { return a.host_count > b.host_count; });
+  return stats;
+}
+
+SharedPrimeStats assess_shared_primes(const ScanSnapshot& snapshot) {
+  // Deduplicate moduli first: reused certificates and multi-endpoint hosts
+  // trivially repeat the same key and are not a randomness finding.
+  std::set<std::string> seen;
+  std::vector<Bignum> moduli;
+  for (const auto& host : snapshot.hosts) {
+    for (const auto& der : host.distinct_certificates()) {
+      try {
+        const Certificate cert = x509_parse(der);
+        if (seen.insert(cert.public_key.n.to_hex()).second) {
+          moduli.push_back(cert.public_key.n);
+        }
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+  SharedPrimeStats stats;
+  stats.distinct_moduli = moduli.size();
+  stats.moduli_with_shared_prime = batch_gcd(moduli).affected();
+  return stats;
+}
+
+// ------------------------------------------------------- Fig 6 / Table 2 --
+
+SystemClass classify_namespaces(const std::vector<std::string>& namespaces) {
+  static const char* kProductionHints[] = {"IEC61131", "PLCopen", "plant",   "parking",
+                                           "sewerage", "simatic", "factory", "scada"};
+  static const char* kTestHints[] = {"example", "tutorial", "freeopcua.github.io"};
+  bool production = false, test = false;
+  for (const auto& ns : namespaces) {
+    for (const char* hint : kTestHints) {
+      if (ns.find(hint) != std::string::npos) test = true;
+    }
+    for (const char* hint : kProductionHints) {
+      if (ns.find(hint) != std::string::npos) production = true;
+    }
+  }
+  if (production) return SystemClass::production;
+  if (test) return SystemClass::test;
+  return SystemClass::unclassified;
+}
+
+AuthStats assess_auth(const ScanSnapshot& snapshot) {
+  AuthStats stats;
+  std::map<std::tuple<bool, bool, bool, bool>, AuthRow> rows;
+  for (const auto& host : snapshot.hosts) {
+    if (host.is_discovery_server()) continue;
+    ++stats.servers;
+    AuthRow probe;
+    for (const auto token : host.advertised_token_types()) {
+      switch (token) {
+        case UserTokenType::Anonymous: probe.anonymous = true; break;
+        case UserTokenType::UserName: probe.credentials = true; break;
+        case UserTokenType::Certificate: probe.certificate = true; break;
+        case UserTokenType::IssuedToken: probe.token = true; break;
+      }
+    }
+    auto& row = rows.try_emplace(probe.key(), probe).first->second;
+
+    const bool sc_rejected = host.channel == ChannelOutcome::cert_rejected ||
+                             host.channel == ChannelOutcome::failed;
+    if (sc_rejected) {
+      ++stats.channel_rejected;
+      ++row.channel_rejected;
+    } else {
+      ++stats.channel_capable;
+    }
+    if (probe.anonymous) {
+      ++stats.anonymous_offered;
+      if (!sc_rejected) ++stats.anonymous_channel_capable;
+      bool none_mode = false;
+      for (const auto mode : host.advertised_modes()) {
+        none_mode |= mode == MessageSecurityMode::None;
+      }
+      if (!none_mode) ++stats.anonymous_secure_only;
+    }
+    if (host.session == SessionOutcome::accessible) {
+      ++stats.accessible;
+      switch (classify_namespaces(host.namespaces)) {
+        case SystemClass::production:
+          ++stats.production;
+          ++row.production;
+          break;
+        case SystemClass::test:
+          ++stats.test;
+          ++row.test;
+          break;
+        case SystemClass::unclassified:
+          ++stats.unclassified;
+          ++row.unclassified;
+          break;
+      }
+    } else if (!sc_rejected) {
+      ++stats.auth_rejected;
+      ++row.auth_rejected;
+    }
+  }
+  for (auto& [key, row] : rows) stats.rows.push_back(row);
+  return stats;
+}
+
+// ----------------------------------------------------------------- Fig 7 --
+
+AccessRightsStats assess_access_rights(const ScanSnapshot& snapshot) {
+  AccessRightsStats stats;
+  for (const auto& host : snapshot.hosts) {
+    if (host.session != SessionOutcome::accessible) continue;
+    int vars = 0, readable = 0, writable = 0, methods = 0, executable = 0;
+    for (const auto& node : host.nodes) {
+      if (node.node_class == NodeClass::Variable) {
+        ++vars;
+        readable += node.readable;
+        writable += node.writable;
+      } else if (node.node_class == NodeClass::Method) {
+        ++methods;
+        executable += node.executable;
+      }
+    }
+    if (vars > 0) {
+      stats.read_fractions.push_back(static_cast<double>(readable) / vars);
+      stats.write_fractions.push_back(static_cast<double>(writable) / vars);
+    }
+    if (methods > 0) {
+      stats.exec_fractions.push_back(static_cast<double>(executable) / methods);
+    }
+  }
+  return stats;
+}
+
+double AccessRightsStats::hosts_above(const std::vector<double>& fractions, double threshold) {
+  if (fractions.empty()) return 0;
+  const auto count = std::count_if(fractions.begin(), fractions.end(),
+                                   [threshold](double f) { return f > threshold; });
+  return static_cast<double>(count) / static_cast<double>(fractions.size());
+}
+
+std::vector<std::pair<double, double>> AccessRightsStats::survival_curve(
+    std::vector<double> fractions) {
+  std::vector<std::pair<double, double>> curve;
+  if (fractions.empty()) return curve;
+  std::sort(fractions.begin(), fractions.end());
+  const double n = static_cast<double>(fractions.size());
+  for (double hosts_frac = 0.1; hosts_frac <= 1.0001; hosts_frac += 0.05) {
+    // Fraction of nodes that the top `hosts_frac` of hosts can access.
+    const std::size_t idx =
+        fractions.size() - std::min<std::size_t>(fractions.size(),
+                                                 static_cast<std::size_t>(hosts_frac * n + 0.5));
+    const std::size_t clamped = std::min(idx, fractions.size() - 1);
+    curve.emplace_back(hosts_frac, fractions[clamped]);
+  }
+  return curve;
+}
+
+// ----------------------------------------------------------------- Fig 8 --
+
+DeficitBreakdown assess_deficits(const ScanSnapshot& snapshot) {
+  DeficitBreakdown stats;
+  const ReuseStats reuse = assess_reuse(snapshot);
+  std::set<std::string> reused_fingerprints;
+  for (const auto& cluster : reuse.clusters) {
+    if (cluster.host_count >= 3) reused_fingerprints.insert(cluster.fingerprint_hex);
+  }
+
+  for (const auto& host : snapshot.hosts) {
+    if (host.is_discovery_server()) continue;
+    ++stats.servers;
+    const std::string cluster = manufacturer_cluster(host.application_uri);
+    const SecurityPolicy max = strongest_policy(host);
+    const auto cert = primary_certificate(host);
+
+    auto tally = [&](const char* deficit) {
+      stats.by_manufacturer[deficit][cluster]++;
+      stats.by_as[deficit][host.asn]++;
+    };
+    if (max == SecurityPolicy::None) {
+      ++stats.none_only;
+      tally("None");
+    }
+    if (max != SecurityPolicy::None && policy_info(max).deprecated) {
+      ++stats.deprecated_only;
+      tally("Deprecated Policies");
+    }
+    if (cert && max != SecurityPolicy::None &&
+        classify_certificate(max, cert->signature_hash, cert->key_bits()) ==
+            CertConformance::too_weak) {
+      ++stats.weak_certificate;
+      tally("Too Weak Certificate");
+    }
+    bool reused = false;
+    for (const auto& der : host.distinct_certificates()) {
+      if (reused_fingerprints.contains(to_hex(x509_thumbprint(der)))) reused = true;
+    }
+    if (reused) {
+      ++stats.cert_reuse;
+      tally("Certificate Reuse");
+    }
+    if (host.anonymous_offered) {
+      ++stats.anonymous_access;
+      tally("Anonymous Access");
+    }
+    if (is_deficient(host)) ++stats.deficient_total;
+  }
+  return stats;
+}
+
+// -------------------------------------------------------- Fig 2 / §5.5 ----
+
+LongitudinalStats assess_longitudinal(const std::vector<ScanSnapshot>& snapshots) {
+  LongitudinalStats stats;
+  const std::int64_t y2017 = days_from_civil({2017, 1, 1});
+  const std::int64_t y2019 = days_from_civil({2019, 1, 1});
+
+  // Cross-measurement certificate corpus.
+  std::map<std::string, std::pair<HashAlgorithm, std::int64_t>> corpus;  // fp -> (hash, notBefore)
+  // Largest reuse clusters of the final measurement, tracked over time.
+  std::set<std::string> big_cluster_fps;
+  if (!snapshots.empty()) {
+    const ReuseStats reuse = assess_reuse(snapshots.back());
+    for (const auto& cluster : reuse.clusters) {
+      if (cluster.host_count >= 3 && cluster.subject_organization == "Bachmann electronic") {
+        big_cluster_fps.insert(cluster.fingerprint_hex);
+      }
+    }
+  }
+
+  // Per-IP certificate/software history for renewal detection.
+  struct HostHistory {
+    std::vector<int> weeks;
+    std::vector<std::set<std::string>> cert_sets;        // fingerprints per week
+    std::vector<std::map<std::string, HashAlgorithm>> hashes;
+    std::vector<std::string> software;
+  };
+  std::map<std::pair<Ipv4, std::uint16_t>, HostHistory> history;
+
+  double sum = 0, sum_sq = 0;
+  stats.deficiency_min = 100;
+  for (const auto& snapshot : snapshots) {
+    WeeklyObservation week;
+    week.measurement_index = snapshot.measurement_index;
+    week.date_days = snapshot.date_days;
+    for (const auto& host : snapshot.hosts) {
+      const std::string cluster = manufacturer_cluster(host.application_uri);
+      if (host.is_discovery_server()) {
+        ++week.discovery;
+        continue;
+      }
+      ++week.servers;
+      week.by_manufacturer[cluster]++;
+      week.via_reference += host.found_via_reference;
+      week.non_default_port += host.port != kOpcUaDefaultPort;
+      week.deficient += is_deficient(host);
+
+      HostHistory& h = history[{host.ip, host.port}];
+      h.weeks.push_back(snapshot.measurement_index);
+      std::set<std::string> fps;
+      std::map<std::string, HashAlgorithm> hashes;
+      bool in_big_cluster = false;
+      for (const auto& der : host.distinct_certificates()) {
+        const std::string fp = to_hex(x509_thumbprint(der));
+        fps.insert(fp);
+        try {
+          const Certificate cert = x509_parse(der);
+          hashes[fp] = cert.signature_hash;
+          corpus.try_emplace(fp, cert.signature_hash, cert.not_before_days);
+        } catch (const DecodeError&) {
+        }
+        if (big_cluster_fps.contains(fp)) in_big_cluster = true;
+      }
+      week.reuse_devices += in_big_cluster;
+      h.cert_sets.push_back(std::move(fps));
+      h.hashes.push_back(std::move(hashes));
+      h.software.push_back(host.software_version);
+    }
+    week.deficient_pct = week.servers == 0
+                             ? 0
+                             : 100.0 * week.deficient / static_cast<double>(week.servers);
+    sum += week.deficient_pct;
+    sum_sq += week.deficient_pct * week.deficient_pct;
+    stats.deficiency_min = std::min(stats.deficiency_min, week.deficient_pct);
+    stats.deficiency_max = std::max(stats.deficiency_max, week.deficient_pct);
+    stats.weeks.push_back(std::move(week));
+  }
+  if (!stats.weeks.empty()) {
+    const double n = static_cast<double>(stats.weeks.size());
+    stats.deficiency_avg = sum / n;
+    stats.deficiency_std = std::sqrt(std::max(0.0, sum_sq / n - stats.deficiency_avg * stats.deficiency_avg));
+  }
+
+  stats.total_distinct_certificates = corpus.size();
+  for (const auto& [fp, info] : corpus) {
+    if (info.first != HashAlgorithm::sha1) continue;
+    if (info.second >= y2017) ++stats.sha1_after_2017;
+    if (info.second >= y2019) ++stats.sha1_after_2019;
+  }
+
+  // Renewal detection: hosts on a static IP whose certificate set changed
+  // between consecutive observations.
+  for (const auto& [endpoint, h] : history) {
+    for (std::size_t i = 1; i < h.weeks.size(); ++i) {
+      if (h.cert_sets[i] == h.cert_sets[i - 1] || h.cert_sets[i].empty() ||
+          h.cert_sets[i - 1].empty()) {
+        continue;
+      }
+      RenewalEvent event;
+      event.ip = endpoint.first;
+      event.week = h.weeks[i];
+      event.software_update = !h.software[i].empty() && !h.software[i - 1].empty() &&
+                              h.software[i] != h.software[i - 1];
+      bool removed_sha1 = false, added_sha1 = false, removed_sha256 = false, added_sha256 = false;
+      for (const auto& fp : h.cert_sets[i - 1]) {
+        if (h.cert_sets[i].contains(fp)) continue;
+        const auto it = h.hashes[i - 1].find(fp);
+        if (it == h.hashes[i - 1].end()) continue;
+        removed_sha1 |= it->second == HashAlgorithm::sha1;
+        removed_sha256 |= it->second == HashAlgorithm::sha256;
+      }
+      for (const auto& fp : h.cert_sets[i]) {
+        if (h.cert_sets[i - 1].contains(fp)) continue;
+        const auto it = h.hashes[i].find(fp);
+        if (it == h.hashes[i].end()) continue;
+        added_sha1 |= it->second == HashAlgorithm::sha1;
+        added_sha256 |= it->second == HashAlgorithm::sha256;
+      }
+      event.sha1_replaced = removed_sha1 && added_sha256 && !added_sha1;
+      event.downgraded_to_sha1 = removed_sha256 && added_sha1 && !added_sha256;
+      stats.renewals_with_software_update += event.software_update;
+      stats.sha1_upgrades += event.sha1_replaced;
+      stats.downgrades += event.downgraded_to_sha1;
+      stats.renewals.push_back(event);
+    }
+  }
+  return stats;
+}
+
+}  // namespace opcua_study

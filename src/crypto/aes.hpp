@@ -1,0 +1,37 @@
+// AES-128/192/256 in CBC mode.
+//
+// OPC UA SecureConversation encrypts symmetric message chunks with
+// AES-CBC; the IV comes from the P_SHA key derivation, not from a
+// per-message random (OPC 10000-6). Straightforward table-free
+// implementation: correctness and clarity over speed — the scan pipeline's
+// bottleneck is RSA, not AES.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace opcua_study {
+
+class Aes {
+ public:
+  /// Key must be 16, 24 or 32 bytes.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  int rounds_ = 0;
+  std::uint8_t round_keys_[15 * 16] = {};
+};
+
+/// CBC without padding: data size must be a multiple of 16 (OPC UA pads at
+/// the SecureConversation layer before encrypting).
+Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> plaintext);
+Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> ciphertext);
+
+}  // namespace opcua_study

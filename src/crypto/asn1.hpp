@@ -1,0 +1,125 @@
+// Minimal ASN.1 DER encoder/decoder — just enough X.509.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "util/bytes.hpp"
+
+namespace opcua_study {
+
+namespace der {
+
+inline constexpr std::uint8_t kBoolean = 0x01;
+inline constexpr std::uint8_t kInteger = 0x02;
+inline constexpr std::uint8_t kBitString = 0x03;
+inline constexpr std::uint8_t kOctetString = 0x04;
+inline constexpr std::uint8_t kNull = 0x05;
+inline constexpr std::uint8_t kOid = 0x06;
+inline constexpr std::uint8_t kUtf8String = 0x0c;
+inline constexpr std::uint8_t kPrintableString = 0x13;
+inline constexpr std::uint8_t kIa5String = 0x16;
+inline constexpr std::uint8_t kUtcTime = 0x17;
+inline constexpr std::uint8_t kGeneralizedTime = 0x18;
+inline constexpr std::uint8_t kSequence = 0x30;
+inline constexpr std::uint8_t kSet = 0x31;
+
+/// Context-specific tag: [n], optionally constructed.
+constexpr std::uint8_t context(unsigned n, bool constructed) {
+  return static_cast<std::uint8_t>(0x80 | (constructed ? 0x20 : 0x00) | n);
+}
+
+}  // namespace der
+
+/// Object identifier, e.g. {1,2,840,113549,1,1,11}.
+struct Oid {
+  std::vector<std::uint32_t> arcs;
+
+  bool operator==(const Oid&) const = default;
+  std::string to_string() const;
+  Bytes encode_body() const;
+  static Oid decode_body(std::span<const std::uint8_t> body);
+};
+
+namespace oid {
+// PKCS#1 signature/encryption algorithms.
+extern const Oid kRsaEncryption;      // 1.2.840.113549.1.1.1
+extern const Oid kMd5WithRsa;         // 1.2.840.113549.1.1.4
+extern const Oid kSha1WithRsa;        // 1.2.840.113549.1.1.5
+extern const Oid kSha256WithRsa;      // 1.2.840.113549.1.1.11
+// X.500 attribute types.
+extern const Oid kCommonName;         // 2.5.4.3
+extern const Oid kOrganization;       // 2.5.4.10
+extern const Oid kCountry;            // 2.5.4.6
+// X.509 v3 extensions.
+extern const Oid kSubjectAltName;     // 2.5.29.17
+extern const Oid kBasicConstraints;   // 2.5.29.19
+extern const Oid kKeyUsage;           // 2.5.29.15
+}  // namespace oid
+
+/// DER writer. Nested structures are written through lambdas so lengths are
+/// computed bottom-up, matching DER's definite-length requirement.
+class DerWriter {
+ public:
+  void tlv(std::uint8_t tag, std::span<const std::uint8_t> content);
+  void boolean(bool v);
+  void integer(const Bignum& v);
+  void integer(std::int64_t v);
+  void null();
+  void oid_value(const Oid& o);
+  void bit_string(std::span<const std::uint8_t> bits, unsigned unused_bits = 0);
+  void octet_string(std::span<const std::uint8_t> data);
+  void utf8_string(std::string_view s);
+  void printable_string(std::string_view s);
+  void ia5_string(std::string_view s);
+  /// days since 1970-01-01, rendered as UTCTime (or GeneralizedTime >= 2050).
+  void time(std::int64_t days_since_epoch);
+
+  void sequence(const std::function<void(DerWriter&)>& fill) { constructed(der::kSequence, fill); }
+  void set(const std::function<void(DerWriter&)>& fill) { constructed(der::kSet, fill); }
+  void constructed(std::uint8_t tag, const std::function<void(DerWriter&)>& fill);
+
+  void raw(std::span<const std::uint8_t> already_encoded);
+
+  Bytes take() { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  void length(std::size_t len);
+  Bytes buf_;
+};
+
+/// Sequential DER parser over a single level; descend by constructing a new
+/// parser over a TLV's content.
+class DerParser {
+ public:
+  struct Tlv {
+    std::uint8_t tag = 0;
+    std::span<const std::uint8_t> content;
+    std::span<const std::uint8_t> full;  // header + content (for TBS capture)
+  };
+
+  explicit DerParser(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool done() const { return pos_ >= data_.size(); }
+  std::uint8_t peek_tag() const;
+  Tlv next();
+  Tlv expect(std::uint8_t tag);
+
+  Bignum read_integer();
+  Oid read_oid();
+  std::string read_string();        // UTF8/Printable/IA5
+  std::int64_t read_time_days();    // UTCTime or GeneralizedTime
+  Bytes read_octet_string();
+  /// BIT STRING content without the leading unused-bits byte.
+  Bytes read_bit_string();
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace opcua_study

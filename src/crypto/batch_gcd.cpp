@@ -1,0 +1,69 @@
+#include "crypto/batch_gcd.hpp"
+
+namespace opcua_study {
+
+std::size_t BatchGcdResult::affected() const {
+  std::size_t n = 0;
+  for (const auto& f : shared_factor) {
+    if (!f.is_zero()) ++n;
+  }
+  return n;
+}
+
+BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli) {
+  BatchGcdResult result;
+  result.shared_factor.assign(moduli.size(), Bignum{});
+  if (moduli.size() < 2) return result;
+
+  // Product tree: levels[0] = moduli, levels.back() = single product.
+  std::vector<std::vector<Bignum>> levels;
+  levels.push_back(moduli);
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
+    std::vector<Bignum> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) next.push_back(prev[i] * prev[i + 1]);
+    if (prev.size() % 2) next.push_back(prev.back());
+    levels.push_back(std::move(next));
+  }
+
+  // Remainder tree downward over squares: rem[i] at level L equals
+  // P mod (node_L_i)^2.
+  std::vector<Bignum> rems = {levels.back()[0]};
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const auto& nodes = levels[level];
+    std::vector<Bignum> next(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Bignum& parent_rem = rems[i / 2];
+      next[i] = parent_rem % (nodes[i] * nodes[i]);
+    }
+    rems = std::move(next);
+  }
+
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    if (moduli[i].is_zero()) continue;
+    // z = (P mod n_i^2) / n_i is exact; gcd(z, n_i) > 1 iff n_i shares a
+    // prime with the rest of the batch.
+    const Bignum z = rems[i] / moduli[i];
+    const Bignum g = Bignum::gcd(z, moduli[i]);
+    if (g > Bignum{1}) result.shared_factor[i] = g;
+  }
+  return result;
+}
+
+BatchGcdResult pairwise_gcd(const std::vector<Bignum>& moduli) {
+  BatchGcdResult result;
+  result.shared_factor.assign(moduli.size(), Bignum{});
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    for (std::size_t j = i + 1; j < moduli.size(); ++j) {
+      const Bignum g = Bignum::gcd(moduli[i], moduli[j]);
+      if (g > Bignum{1}) {
+        result.shared_factor[i] = g;
+        result.shared_factor[j] = g;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace opcua_study

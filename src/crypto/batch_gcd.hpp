@@ -1,0 +1,31 @@
+// Heninger-style batch GCD over RSA moduli (product + remainder trees).
+//
+// §5.3 of the paper: "we have not found any evidence of key material that
+// is subject to insufficient randomness by pairwise checking the keys of
+// all received certificates for shared primes". The product/remainder tree
+// brings the cost from O(n²) GCDs to O(n log² n) big-integer work, which is
+// what makes scanning the full ~1300-modulus corpus feasible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+
+namespace opcua_study {
+
+struct BatchGcdResult {
+  /// Per-modulus non-trivial factor (zero Bignum if the modulus shares no
+  /// prime with any other modulus in the batch).
+  std::vector<Bignum> shared_factor;
+  std::size_t affected() const;
+};
+
+/// Detect moduli sharing a prime with any other modulus in `moduli`.
+/// Duplicate moduli are reported as sharing (gcd = the modulus itself).
+BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli);
+
+/// O(n²) reference used to validate batch_gcd in tests.
+BatchGcdResult pairwise_gcd(const std::vector<Bignum>& moduli);
+
+}  // namespace opcua_study

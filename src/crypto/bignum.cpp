@@ -1,0 +1,545 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/hex.hpp"
+
+namespace opcua_study {
+
+Bignum::Bignum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Bignum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum Bignum::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  Bignum out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t bit_pos = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit_pos / 32] |= static_cast<std::uint32_t>(bytes[i]) << (bit_pos % 32);
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes_be(opcua_study::from_hex(padded));
+}
+
+Bytes Bignum::to_bytes_be(std::size_t min_len) const {
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(nbytes, min_len);
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    const std::size_t bit_pos = i * 8;
+    out[len - 1 - i] = static_cast<std::uint8_t>(limbs_[bit_pos / 32] >> (bit_pos % 32));
+  }
+  return out;
+}
+
+std::string Bignum::to_hex() const {
+  if (is_zero()) return "0";
+  auto bytes = to_bytes_be();
+  std::string h = opcua_study::to_hex(bytes);
+  // Strip one leading zero nibble if present.
+  if (h.size() > 1 && h[0] == '0') h.erase(h.begin());
+  return h;
+}
+
+std::size_t Bignum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool Bignum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+void Bignum::set_bit(std::size_t i) {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+  limbs_[limb] |= std::uint32_t{1} << (i % 32);
+}
+
+std::uint64_t Bignum::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int Bignum::compare(const Bignum& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Bignum Bignum::operator+(const Bignum& other) const {
+  Bignum out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::operator-(const Bignum& other) const {
+  if (*this < other) throw std::domain_error("Bignum underflow");
+  Bignum out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < other.limbs_.size() ? static_cast<std::int64_t>(other.limbs_[i]) : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::operator*(const Bignum& other) const {
+  if (is_zero() || other.is_zero()) return Bignum{};
+  Bignum out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::operator<<(std::size_t bits) const {
+  if (is_zero()) return Bignum{};
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Bignum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return Bignum{};
+  const std::size_t bit_shift = bits % 32;
+  Bignum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+Bignum::DivMod Bignum::divmod_binary(const Bignum& divisor) const {
+  // Reference implementation (shift-subtract), kept as a property-test
+  // oracle for the Knuth-D fast path below.
+  if (divisor.is_zero()) throw std::domain_error("Bignum division by zero");
+  if (*this < divisor) return {Bignum{}, *this};
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  Bignum remainder = *this;
+  Bignum quotient;
+  Bignum d = divisor << shift;
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= d) {
+      remainder = remainder - d;
+      quotient.set_bit(i);
+    }
+    d = d >> 1;
+  }
+  quotient.trim();
+  return {quotient, remainder};
+}
+
+Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
+  // Knuth TAOCP vol. 2 Algorithm D (after Hacker's Delight divmnu), base 2^32.
+  // Needed at scale by the batch-GCD remainder tree (§5.3 shared-prime scan),
+  // where operands reach megabit sizes.
+  if (divisor.is_zero()) throw std::domain_error("Bignum division by zero");
+  if (*this < divisor) return {Bignum{}, *this};
+  const std::size_t n = divisor.limbs_.size();
+  if (n == 1) {
+    const std::uint32_t d = divisor.limbs_[0];
+    Bignum q;
+    q.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, Bignum{rem}};
+  }
+
+  const std::size_t m = limbs_.size();
+  const int s = std::countl_zero(divisor.limbs_.back());
+  // Normalized copies: vn has exactly n limbs with the top bit set.
+  std::vector<std::uint32_t> vn(n);
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint32_t v = divisor.limbs_[i] << s;
+    if (s && i > 0) v |= divisor.limbs_[i - 1] >> (32 - s);
+    vn[i] = v;
+  }
+  std::vector<std::uint32_t> un(m + 1, 0);
+  un[m] = s ? (limbs_[m - 1] >> (32 - s)) : 0;
+  for (std::size_t i = m; i-- > 0;) {
+    std::uint32_t v = limbs_[i] << s;
+    if (s && i > 0) v |= limbs_[i - 1] >> (32 - s);
+    un[i] = v;
+  }
+
+  Bignum q;
+  q.limbs_.assign(m - n + 1, 0);
+  constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+  for (std::size_t j = m - n + 1; j-- > 0;) {
+    const std::uint64_t num = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply and subtract.
+    std::int64_t k = 0;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i];
+      t = static_cast<std::int64_t>(un[i + j]) - k - static_cast<std::int64_t>(p & 0xffffffffULL);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      k = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+    }
+    t = static_cast<std::int64_t>(un[j + n]) - k;
+    un[j + n] = static_cast<std::uint32_t>(t);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    if (t < 0) {
+      // Rare add-back step.
+      --q.limbs_[j];
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+      }
+      un[j + n] += static_cast<std::uint32_t>(carry);
+    }
+  }
+  q.trim();
+  // Denormalize the remainder (low n limbs of un, shifted right by s).
+  Bignum r;
+  r.limbs_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = un[i] >> s;
+    if (s && i + 1 < n + 1) v |= static_cast<std::uint64_t>(un[i + 1]) << (32 - s);
+    r.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  r.trim();
+  return {q, r};
+}
+
+std::uint32_t Bignum::mod_u32(std::uint32_t d) const {
+  if (d == 0) throw std::domain_error("mod by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % d;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+  // Binary GCD.
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  std::size_t shift = 0;
+  while (!a.is_odd() && !b.is_odd()) {
+    a = a >> 1;
+    b = b >> 1;
+    ++shift;
+  }
+  while (!a.is_odd()) a = a >> 1;
+  while (!b.is_zero()) {
+    while (!b.is_odd()) b = b >> 1;
+    if (a > b) std::swap(a, b);
+    b = b - a;
+  }
+  return a << shift;
+}
+
+Bignum Bignum::mod_inverse(const Bignum& a, const Bignum& m) {
+  // Extended Euclid tracking only the coefficient of `a`, with values kept
+  // in [0, m) via a sign flag.
+  Bignum r0 = m, r1 = a % m;
+  Bignum t0, t1 = 1;
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    auto [q, r2] = r0.divmod(r1);
+    // t2 = t0 - q*t1 (signed)
+    Bignum qt = q * t1;
+    Bignum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (r0 != Bignum{1}) throw std::domain_error("no modular inverse");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+// ----------------------------------------------------------- Montgomery ----
+
+Montgomery::Montgomery(const Bignum& odd_modulus) : n_(odd_modulus) {
+  if (!n_.is_odd()) throw std::domain_error("Montgomery modulus must be odd");
+  k_ = n_.limbs_.size();
+  // n0_inv = -n^{-1} mod 2^32 via Newton-Hensel lifting.
+  const std::uint32_t n0 = n_.limbs_[0];
+  std::uint32_t x = n0;  // correct mod 2^3 already (odd)
+  for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
+  n0_inv_ = ~x + 1;  // -x mod 2^32
+  // rr_ = R^2 mod n where R = 2^(32k): start from 1 and double 64k times.
+  Bignum r = Bignum{1} << (32 * k_);
+  rr_ = (r % n_);
+  rr_ = (rr_ * rr_) % n_;
+}
+
+Bignum Montgomery::mul(const Bignum& a_mont, const Bignum& b_mont) const {
+  // CIOS (coarsely integrated operand scanning).
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  const auto& a = a_mont.limbs_;
+  const auto& b = b_mont.limbs_;
+  const auto& n = n_.limbs_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t ai = i < a.size() ? a[i] : 0;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t bj = j < b.size() ? b[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[k_] + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    const std::uint32_t m = t[0] * n0_inv_;
+    carry = (static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(m) * n[0]) >> 32;
+    for (std::size_t j = 1; j < k_; ++j) {
+      const std::uint64_t cur2 = t[j] + static_cast<std::uint64_t>(m) * n[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    cur = t[k_] + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[k_ + 1] = 0;
+  }
+  Bignum out;
+  out.limbs_.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_ + 1));
+  out.trim();
+  if (out >= n_) out = out - n_;
+  return out;
+}
+
+Bignum Montgomery::to_mont(const Bignum& x) const { return mul(x % n_, rr_); }
+
+Bignum Montgomery::from_mont(const Bignum& x) const { return mul(x, Bignum{1}); }
+
+Bignum Montgomery::pow(const Bignum& base, const Bignum& exp) const {
+  if (exp.is_zero()) return Bignum{1} % n_;
+  Bignum result = to_mont(Bignum{1});
+  Bignum b = to_mont(base);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = mul(result, result);
+    if (exp.bit(i)) result = mul(result, b);
+  }
+  return from_mont(result);
+}
+
+Bignum Bignum::mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod) {
+  if (mod.is_zero()) throw std::domain_error("mod_pow modulus zero");
+  if (mod == Bignum{1}) return Bignum{};
+  if (mod.is_odd()) {
+    Montgomery mont(mod);
+    return mont.pow(base, exp);
+  }
+  // Rare path (even modulus): plain square-and-multiply with divmod.
+  Bignum result{1};
+  Bignum b = base % mod;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % mod;
+    if (exp.bit(i)) result = (result * b) % mod;
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- primes ----
+
+Bignum Bignum::random_bits(Rng& rng, std::size_t bits) {
+  Bignum out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
+  const std::size_t excess = out.limbs_.size() * 32 - bits;
+  if (excess) out.limbs_.back() &= (~std::uint32_t{0}) >> excess;
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::random_below(Rng& rng, const Bignum& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below(0)");
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    Bignum candidate = random_bits(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+namespace {
+
+// Primes below 8192 for trial division; computed once.
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 8192;
+    std::vector<bool> sieve(kLimit, true);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (std::uint32_t j = i * 2; j < kLimit; j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+bool mr_round(const Montgomery& mont, const Bignum& n, const Bignum& n_minus_1, const Bignum& d,
+              std::size_t r, const Bignum& base) {
+  Bignum x = mont.pow(base, d);
+  if (x == Bignum{1} || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+    if (x == Bignum{1}) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Bignum::is_probable_prime(const Bignum& n, int rounds, Rng& rng) {
+  if (n < Bignum{2}) return false;
+  for (std::uint32_t p : small_primes()) {
+    if (n == Bignum{p}) return true;
+    if (n.mod_u32(p) == 0) return false;
+  }
+  // n odd and > all small primes here.
+  const Bignum n_minus_1 = n - Bignum{1};
+  Bignum d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  Montgomery mont(n);
+  if (!mr_round(mont, n, n_minus_1, d, r, Bignum{2})) return false;
+  for (int i = 0; i < rounds; ++i) {
+    Bignum base = random_below(rng, n - Bignum{3}) + Bignum{2};  // [2, n-2]
+    if (!mr_round(mont, n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+Bignum Bignum::generate_prime(Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 16) throw std::invalid_argument("prime too small");
+  for (;;) {
+    Bignum candidate = random_bits(rng, bits);
+    candidate.set_bit(bits - 1);
+    candidate.set_bit(bits - 2);  // keep products at full length
+    candidate.set_bit(0);
+    // Cheap trial division first.
+    bool composite = false;
+    for (std::uint32_t p : small_primes()) {
+      if (candidate.mod_u32(p) == 0) {
+        composite = true;
+        break;
+      }
+    }
+    if (composite) continue;
+    if (is_probable_prime(candidate, mr_rounds, rng)) return candidate;
+  }
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,116 @@
+// Arbitrary-precision unsigned integers for RSA.
+//
+// Scope: exactly what the study needs — modular exponentiation (Montgomery),
+// Miller-Rabin prime generation for 512..2048-bit primes, GCD/modular
+// inverse, and byte-string conversions for DER. Not constant-time: this
+// library generates and analyses a *synthetic* certificate corpus; it does
+// not protect secrets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+
+class Bignum {
+ public:
+  Bignum() = default;
+  Bignum(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  static Bignum from_bytes_be(std::span<const std::uint8_t> bytes);
+  static Bignum from_hex(std::string_view hex);
+
+  /// Big-endian bytes, zero-padded on the left to at least `min_len`.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  void set_bit(std::size_t i);
+  std::uint64_t low_u64() const;
+
+  int compare(const Bignum& other) const;  // -1 / 0 / +1
+  bool operator==(const Bignum& other) const { return compare(other) == 0; }
+  bool operator!=(const Bignum& other) const { return compare(other) != 0; }
+  bool operator<(const Bignum& other) const { return compare(other) < 0; }
+  bool operator<=(const Bignum& other) const { return compare(other) <= 0; }
+  bool operator>(const Bignum& other) const { return compare(other) > 0; }
+  bool operator>=(const Bignum& other) const { return compare(other) >= 0; }
+
+  Bignum operator+(const Bignum& other) const;
+  /// Requires *this >= other.
+  Bignum operator-(const Bignum& other) const;
+  Bignum operator*(const Bignum& other) const;
+  Bignum operator<<(std::size_t bits) const;
+  Bignum operator>>(std::size_t bits) const;
+
+  struct DivMod;  // {quotient, remainder}; defined after the class
+  DivMod divmod(const Bignum& divisor) const;
+  /// Slow reference division (test oracle for the Knuth-D fast path).
+  DivMod divmod_binary(const Bignum& divisor) const;
+  Bignum operator/(const Bignum& d) const;
+  Bignum operator%(const Bignum& d) const;
+  std::uint32_t mod_u32(std::uint32_t d) const;
+
+  static Bignum gcd(Bignum a, Bignum b);
+  /// a^{-1} mod m; throws std::domain_error if gcd(a, m) != 1.
+  static Bignum mod_inverse(const Bignum& a, const Bignum& m);
+  /// base^exp mod mod. Montgomery ladder for odd moduli, generic otherwise.
+  static Bignum mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod);
+
+  /// Uniform in [0, 2^bits) with exactly `bits` significant bits requested
+  /// by callers that set the top bit themselves.
+  static Bignum random_bits(Rng& rng, std::size_t bits);
+  static Bignum random_below(Rng& rng, const Bignum& bound);
+
+  /// Miller-Rabin with `rounds` random bases (plus base 2 first — it
+  /// eliminates nearly all composites immediately).
+  static bool is_probable_prime(const Bignum& n, int rounds, Rng& rng);
+  /// Random prime with the top two bits set (so p*q has exactly 2*bits bits).
+  static Bignum generate_prime(Rng& rng, std::size_t bits, int mr_rounds = 12);
+
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  friend class Montgomery;
+  void trim();
+  // Little-endian 32-bit limbs; empty vector == zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct Bignum::DivMod {
+  Bignum quotient;
+  Bignum remainder;
+};
+
+inline Bignum Bignum::operator/(const Bignum& d) const { return divmod(d).quotient; }
+inline Bignum Bignum::operator%(const Bignum& d) const { return divmod(d).remainder; }
+
+/// Montgomery multiplication context for a fixed odd modulus. Used by
+/// mod_pow and Miller-Rabin; exposed for RSA-CRT.
+class Montgomery {
+ public:
+  explicit Montgomery(const Bignum& odd_modulus);
+
+  Bignum to_mont(const Bignum& x) const;
+  Bignum from_mont(const Bignum& x) const;
+  Bignum mul(const Bignum& a_mont, const Bignum& b_mont) const;
+  Bignum pow(const Bignum& base, const Bignum& exp) const;
+  const Bignum& modulus() const { return n_; }
+
+ private:
+  Bignum n_;
+  Bignum rr_;  // R^2 mod n, R = 2^(32*k)
+  std::uint32_t n0_inv_ = 0;
+  std::size_t k_ = 0;
+};
+
+}  // namespace opcua_study

@@ -1,0 +1,318 @@
+#include "crypto/hash.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace opcua_study {
+
+std::size_t digest_size(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::md5: return Md5::kDigestSize;
+    case HashAlgorithm::sha1: return Sha1::kDigestSize;
+    case HashAlgorithm::sha256: return Sha256::kDigestSize;
+  }
+  throw std::logic_error("bad hash algorithm");
+}
+
+std::string hash_name(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::md5: return "MD5";
+    case HashAlgorithm::sha1: return "SHA-1";
+    case HashAlgorithm::sha256: return "SHA-256";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- MD5 ----
+
+static constexpr std::uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391};
+
+static constexpr int kMd5S[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                                  5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+                                  4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                                  6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+Md5::Md5() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xefcdab89;
+  h_[2] = 0x98badcfe;
+  h_[3] = 0x10325476;
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) | (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    f += a + kMd5K[i] + m[g];
+    a = d;
+    d = c;
+    c = b;
+    b += std::rotl(f, kMd5S[i]);
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+}
+
+void Md5::update(std::span<const std::uint8_t> data) {
+  total_ += data.size();
+  for (std::uint8_t byte : data) {
+    buf_[buf_len_++] = byte;
+    if (buf_len_ == 64) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, Md5::kDigestSize> Md5::digest() {
+  const std::uint64_t bit_len = total_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buf_len_ < 56) ? 56 - buf_len_ : 120 - buf_len_;
+  update({pad, pad_len});
+  std::uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  // update() counts the length bytes too, but total_ is no longer used.
+  update({len_le, 8});
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 4; ++b) out[static_cast<std::size_t>(i * 4 + b)] = static_cast<std::uint8_t>(h_[i] >> (8 * b));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- SHA-1 ----
+
+Sha1::Sha1() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xefcdab89;
+  h_[2] = 0x98badcfe;
+  h_[3] = 0x10325476;
+  h_[4] = 0xc3d2e1f0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_ += data.size();
+  for (std::uint8_t byte : data) {
+    buf_[buf_len_++] = byte;
+    if (buf_len_ == 64) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::digest() {
+  const std::uint64_t bit_len = total_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buf_len_ < 56) ? 56 - buf_len_ : 120 - buf_len_;
+  update({pad, pad_len});
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  update({len_be, 8});
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      out[static_cast<std::size_t>(i * 4 + b)] = static_cast<std::uint8_t>(h_[i] >> (8 * (3 - b)));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- SHA-256 ----
+
+static constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+Sha256::Sha256() {
+  h_[0] = 0x6a09e667;
+  h_[1] = 0xbb67ae85;
+  h_[2] = 0x3c6ef372;
+  h_[3] = 0xa54ff53a;
+  h_[4] = 0x510e527f;
+  h_[5] = 0x9b05688c;
+  h_[6] = 0x1f83d9ab;
+  h_[7] = 0x5be0cd19;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_ += data.size();
+  for (std::uint8_t byte : data) {
+    buf_[buf_len_++] = byte;
+    if (buf_len_ == 64) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, Sha256::kDigestSize> Sha256::digest() {
+  const std::uint64_t bit_len = total_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buf_len_ < 56) ? 56 - buf_len_ : 120 - buf_len_;
+  update({pad, pad_len});
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  update({len_be, 8});
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 8; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      out[static_cast<std::size_t>(i * 4 + b)] = static_cast<std::uint8_t>(h_[i] >> (8 * (3 - b)));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ one-shot ----
+
+Bytes hash(HashAlgorithm alg, std::span<const std::uint8_t> data) {
+  switch (alg) {
+    case HashAlgorithm::md5: {
+      Md5 h;
+      h.update(data);
+      auto d = h.digest();
+      return Bytes(d.begin(), d.end());
+    }
+    case HashAlgorithm::sha1: {
+      Sha1 h;
+      h.update(data);
+      auto d = h.digest();
+      return Bytes(d.begin(), d.end());
+    }
+    case HashAlgorithm::sha256: {
+      Sha256 h;
+      h.update(data);
+      auto d = h.digest();
+      return Bytes(d.begin(), d.end());
+    }
+  }
+  throw std::logic_error("bad hash algorithm");
+}
+
+Bytes hash(HashAlgorithm alg, std::string_view data) {
+  return hash(alg, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,73 @@
+// From-scratch MD5 / SHA-1 / SHA-256.
+//
+// The study's central certificate analysis (Fig. 4, §5.2) classifies
+// certificates by signature hash function — including deprecated MD5 and
+// SHA-1 — so the library must be able to *create* and *verify* signatures
+// over all three. Never use these implementations to protect real systems;
+// they exist to reproduce a measurement study.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace opcua_study {
+
+enum class HashAlgorithm { md5, sha1, sha256 };
+
+std::size_t digest_size(HashAlgorithm alg);
+std::string hash_name(HashAlgorithm alg);
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  Md5();
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, kDigestSize> digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::uint32_t h_[4];
+  std::uint64_t total_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  Sha1();
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, kDigestSize> digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::uint32_t h_[5];
+  std::uint64_t total_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, kDigestSize> digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::uint32_t h_[8];
+  std::uint64_t total_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot convenience.
+Bytes hash(HashAlgorithm alg, std::span<const std::uint8_t> data);
+Bytes hash(HashAlgorithm alg, std::string_view data);
+
+}  // namespace opcua_study

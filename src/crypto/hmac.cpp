@@ -1,0 +1,40 @@
+#include "crypto/hmac.hpp"
+
+namespace opcua_study {
+
+Bytes hmac(HashAlgorithm alg, std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlockSize = 64;  // all three hashes use 64-byte blocks
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlockSize) k = hash(alg, k);
+  k.resize(kBlockSize, 0);
+
+  Bytes inner(kBlockSize);
+  Bytes outer(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    outer[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner.insert(inner.end(), data.begin(), data.end());
+  Bytes inner_hash = hash(alg, inner);
+  outer.insert(outer.end(), inner_hash.begin(), inner_hash.end());
+  return hash(alg, outer);
+}
+
+Bytes p_hash(HashAlgorithm alg, std::span<const std::uint8_t> secret,
+             std::span<const std::uint8_t> seed, std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  Bytes a(seed.begin(), seed.end());  // A(0) = seed
+  while (out.size() < length) {
+    a = hmac(alg, secret, a);  // A(i) = HMAC(secret, A(i-1))
+    Bytes a_seed = a;
+    a_seed.insert(a_seed.end(), seed.begin(), seed.end());
+    Bytes chunk = hmac(alg, secret, a_seed);
+    const std::size_t take = std::min(chunk.size(), length - out.size());
+    out.insert(out.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace opcua_study

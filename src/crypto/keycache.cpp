@@ -1,0 +1,94 @@
+#include "crypto/keycache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace opcua_study {
+
+std::string KeyFactory::default_cache_path() {
+  if (const char* env = std::getenv("OPCUA_STUDY_KEY_CACHE")) return env;
+  return ".opcua_study_keycache";
+}
+
+KeyFactory::KeyFactory(std::uint64_t seed, std::string cache_path)
+    : seed_(seed), cache_path_(std::move(cache_path)) {
+  if (cache_path_.empty()) return;
+  std::ifstream in(cache_path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::uint64_t file_seed = 0;
+    std::string label, p_hex, q_hex;
+    std::size_t bits = 0;
+    if (!(fields >> file_seed >> label >> bits >> p_hex >> q_hex)) continue;
+    if (file_seed != seed_) continue;
+    entries_[{label, bits}] = {p_hex, q_hex};
+  }
+}
+
+KeyFactory::~KeyFactory() { flush(); }
+
+void KeyFactory::flush() {
+  if (cache_path_.empty() || !dirty_) return;
+  // Rewrite the whole file for our seed while preserving other seeds' rows.
+  std::vector<std::string> foreign;
+  {
+    std::ifstream in(cache_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::uint64_t file_seed = 0;
+      if ((fields >> file_seed) && file_seed != seed_) foreign.push_back(line);
+    }
+  }
+  std::ofstream out(cache_path_, std::ios::trunc);
+  for (const auto& line : foreign) out << line << '\n';
+  for (const auto& [key, pq] : entries_) {
+    out << seed_ << ' ' << key.first << ' ' << key.second << ' ' << pq.first << ' ' << pq.second
+        << '\n';
+  }
+  dirty_ = false;
+}
+
+RsaKeyPair KeyFactory::assemble(const Bignum& p_in, const Bignum& q_in) const {
+  Bignum p = p_in, q = q_in;
+  if (p < q) std::swap(p, q);
+  RsaPrivateKey priv;
+  priv.p = p;
+  priv.q = q;
+  priv.n = p * q;
+  priv.e = Bignum{65537};
+  const Bignum p1 = p - Bignum{1};
+  const Bignum q1 = q - Bignum{1};
+  priv.d = Bignum::mod_inverse(priv.e, p1 * q1);
+  priv.dp = priv.d % p1;
+  priv.dq = priv.d % q1;
+  priv.qinv = Bignum::mod_inverse(q, p);
+  return {priv.public_key(), priv};
+}
+
+RsaKeyPair KeyFactory::get(const std::string& label, std::size_t bits) {
+  const auto key = std::make_pair(label, bits);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    ++cache_hits_;
+    return assemble(Bignum::from_hex(it->second.first), Bignum::from_hex(it->second.second));
+  }
+  Rng rng = Rng(seed_).child("rsa-key").child(label).child(std::to_string(bits));
+  const RsaKeyPair pair = [&] {
+    for (;;) {
+      Bignum p = Bignum::generate_prime(rng, bits / 2);
+      Bignum q = Bignum::generate_prime(rng, bits / 2);
+      if (p == q) continue;
+      if ((p - Bignum{1}).mod_u32(65537) == 0 || (q - Bignum{1}).mod_u32(65537) == 0) continue;
+      if ((p * q).bit_length() != bits) continue;
+      return assemble(p, q);
+    }
+  }();
+  entries_[key] = {pair.priv.p.to_hex(), pair.priv.q.to_hex()};
+  ++generated_;
+  dirty_ = true;
+  return pair;
+}
+
+}  // namespace opcua_study

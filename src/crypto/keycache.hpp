@@ -1,0 +1,53 @@
+// Deterministic RSA key factory with an optional disk cache.
+//
+// The synthetic Internet carries ~1900 RSA keys (1024/2048/4096 bit).
+// Generating them is by far the most expensive step of a full campaign, so
+// keys are (a) derived deterministically from (seed, label, bits) — the
+// same study config always yields the same corpus — and (b) memoised in a
+// small text file so repeated bench/test runs skip generation entirely.
+// The cache stores p and q; all derived values (d, CRT parts) are
+// recomputed, keeping the file format trivial and diffable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "crypto/rsa.hpp"
+
+namespace opcua_study {
+
+class KeyFactory {
+ public:
+  /// `cache_path` empty → in-memory only. The default path comes from
+  /// $OPCUA_STUDY_KEY_CACHE, falling back to ".opcua_study_keycache" in the
+  /// working directory.
+  explicit KeyFactory(std::uint64_t seed, std::string cache_path = default_cache_path());
+  ~KeyFactory();
+
+  KeyFactory(const KeyFactory&) = delete;
+  KeyFactory& operator=(const KeyFactory&) = delete;
+
+  /// Deterministic key for (seed, label, bits).
+  RsaKeyPair get(const std::string& label, std::size_t bits);
+
+  std::size_t generated() const { return generated_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  /// Persist newly generated entries; called by the destructor as well.
+  void flush();
+
+  static std::string default_cache_path();
+
+ private:
+  RsaKeyPair assemble(const Bignum& p, const Bignum& q) const;
+
+  std::uint64_t seed_;
+  std::string cache_path_;
+  // (label, bits) -> (p hex, q hex)
+  std::map<std::pair<std::string, std::size_t>, std::pair<std::string, std::string>> entries_;
+  std::size_t generated_ = 0;
+  std::size_t cache_hits_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace opcua_study

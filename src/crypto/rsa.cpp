@@ -1,0 +1,284 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+namespace opcua_study {
+
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 128 || bits % 2 != 0) throw std::invalid_argument("bad RSA size");
+  const Bignum e{65537};
+  for (;;) {
+    Bignum p = Bignum::generate_prime(rng, bits / 2, mr_rounds);
+    Bignum q = Bignum::generate_prime(rng, bits / 2, mr_rounds);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);
+    const Bignum p1 = p - Bignum{1};
+    const Bignum q1 = q - Bignum{1};
+    // e must be invertible mod phi.
+    if (p1.mod_u32(65537) == 0 || q1.mod_u32(65537) == 0) continue;
+    const Bignum n = p * q;
+    if (n.bit_length() != bits) continue;
+    const Bignum phi = p1 * q1;
+    const Bignum d = Bignum::mod_inverse(e, phi);
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = d;
+    priv.p = p;
+    priv.q = q;
+    priv.dp = d % p1;
+    priv.dq = d % q1;
+    priv.qinv = Bignum::mod_inverse(q, p);
+    return {priv.public_key(), priv};
+  }
+}
+
+Bignum rsa_public_op(const RsaPublicKey& key, const Bignum& m) {
+  return Bignum::mod_pow(m, key.e, key.n);
+}
+
+Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& c) {
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p.
+  const Bignum m1 = Bignum::mod_pow(c % key.p, key.dp, key.p);
+  const Bignum m2 = Bignum::mod_pow(c % key.q, key.dq, key.q);
+  Bignum diff = m1 >= m2 ? m1 - m2 : key.p - ((m2 - m1) % key.p);
+  const Bignum h = (key.qinv * diff) % key.p;
+  return m2 + h * key.q;
+}
+
+// ----------------------------------------------------------- signatures ----
+
+namespace {
+
+// DER DigestInfo prefixes (RFC 8017 §9.2 note 1).
+const Bytes& digest_info_prefix(HashAlgorithm alg) {
+  static const Bytes md5 = {0x30, 0x20, 0x30, 0x0c, 0x06, 0x08, 0x2a, 0x86, 0x48,
+                            0x86, 0xf7, 0x0d, 0x02, 0x05, 0x05, 0x00, 0x04, 0x10};
+  static const Bytes sha1 = {0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b,
+                             0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14};
+  static const Bytes sha256 = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+                               0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+  switch (alg) {
+    case HashAlgorithm::md5: return md5;
+    case HashAlgorithm::sha1: return sha1;
+    case HashAlgorithm::sha256: return sha256;
+  }
+  throw std::logic_error("bad hash");
+}
+
+Bytes emsa_pkcs1v15(HashAlgorithm alg, std::span<const std::uint8_t> message, std::size_t em_len) {
+  const Bytes digest = hash(alg, message);
+  const Bytes& prefix = digest_info_prefix(alg);
+  const std::size_t t_len = prefix.size() + digest.size();
+  if (em_len < t_len + 11) throw std::invalid_argument("RSA key too small for digest");
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), prefix.begin(), prefix.end());
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+Bytes rsa_pkcs1v15_sign(const RsaPrivateKey& key, HashAlgorithm alg,
+                        std::span<const std::uint8_t> message) {
+  const std::size_t k = key.modulus_bytes();
+  const Bytes em = emsa_pkcs1v15(alg, message, k);
+  const Bignum s = rsa_private_op(key, Bignum::from_bytes_be(em));
+  return s.to_bytes_be(k);
+}
+
+bool rsa_pkcs1v15_verify(const RsaPublicKey& key, HashAlgorithm alg,
+                         std::span<const std::uint8_t> message,
+                         std::span<const std::uint8_t> signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const Bignum s = Bignum::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const Bytes em = rsa_public_op(key, s).to_bytes_be(k);
+  Bytes expected;
+  try {
+    expected = emsa_pkcs1v15(alg, message, k);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return em == expected;
+}
+
+Bytes mgf1(HashAlgorithm alg, std::span<const std::uint8_t> seed, std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  for (std::uint32_t counter = 0; out.size() < length; ++counter) {
+    Bytes block(seed.begin(), seed.end());
+    block.push_back(static_cast<std::uint8_t>(counter >> 24));
+    block.push_back(static_cast<std::uint8_t>(counter >> 16));
+    block.push_back(static_cast<std::uint8_t>(counter >> 8));
+    block.push_back(static_cast<std::uint8_t>(counter));
+    Bytes digest = hash(alg, block);
+    const std::size_t take = std::min(digest.size(), length - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes rsa_pss_sign(const RsaPrivateKey& key, HashAlgorithm alg,
+                   std::span<const std::uint8_t> message, Rng& rng) {
+  const std::size_t h_len = digest_size(alg);
+  const std::size_t em_bits = key.n.bit_length() - 1;
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < 2 * h_len + 2) throw std::invalid_argument("RSA key too small for PSS");
+  const Bytes m_hash = hash(alg, message);
+  const Bytes salt = rng.bytes(h_len);
+
+  Bytes m_prime(8, 0);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  const Bytes h = hash(alg, m_prime);
+
+  Bytes db(em_len - h_len - 1, 0);
+  db[db.size() - salt.size() - 1] = 0x01;
+  std::copy(salt.begin(), salt.end(), db.end() - static_cast<std::ptrdiff_t>(salt.size()));
+
+  const Bytes mask = mgf1(alg, h, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= mask[i];
+  db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+
+  Bytes em = db;
+  em.insert(em.end(), h.begin(), h.end());
+  em.push_back(0xbc);
+  const Bignum s = rsa_private_op(key, Bignum::from_bytes_be(em));
+  return s.to_bytes_be(key.modulus_bytes());
+}
+
+bool rsa_pss_verify(const RsaPublicKey& key, HashAlgorithm alg,
+                    std::span<const std::uint8_t> message,
+                    std::span<const std::uint8_t> signature) {
+  const std::size_t h_len = digest_size(alg);
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const Bignum s = Bignum::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const std::size_t em_bits = key.n.bit_length() - 1;
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < 2 * h_len + 2) return false;
+  Bytes em = rsa_public_op(key, s).to_bytes_be(em_len);
+  if (em.back() != 0xbc) return false;
+
+  Bytes db(em.begin(), em.end() - static_cast<std::ptrdiff_t>(h_len) - 1);
+  const Bytes h(em.end() - static_cast<std::ptrdiff_t>(h_len) - 1, em.end() - 1);
+  if (db[0] & ~(0xff >> (8 * em_len - em_bits))) return false;
+  const Bytes mask = mgf1(alg, h, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= mask[i];
+  db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+
+  // DB = PS(0...) || 0x01 || salt
+  const std::size_t salt_off = db.size() - h_len;
+  for (std::size_t i = 0; i + 1 < salt_off; ++i) {
+    if (db[i] != 0) return false;
+  }
+  if (db[salt_off - 1] != 0x01) return false;
+  const Bytes salt(db.begin() + static_cast<std::ptrdiff_t>(salt_off), db.end());
+
+  const Bytes m_hash = hash(alg, message);
+  Bytes m_prime(8, 0);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  return hash(alg, m_prime) == h;
+}
+
+// ----------------------------------------------------------- encryption ----
+
+std::size_t rsa_pkcs1v15_max_plaintext(const RsaPublicKey& key) {
+  return key.modulus_bytes() - 11;
+}
+
+std::size_t rsa_oaep_max_plaintext(const RsaPublicKey& key, HashAlgorithm alg) {
+  return key.modulus_bytes() - 2 * digest_size(alg) - 2;
+}
+
+Bytes rsa_pkcs1v15_encrypt(const RsaPublicKey& key, std::span<const std::uint8_t> plaintext,
+                           Rng& rng) {
+  const std::size_t k = key.modulus_bytes();
+  if (plaintext.size() > k - 11) throw std::invalid_argument("plaintext too long");
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  for (std::size_t i = 0; i < k - plaintext.size() - 3; ++i) {
+    std::uint8_t b;
+    do {
+      b = static_cast<std::uint8_t>(rng.next());
+    } while (b == 0);
+    em.push_back(b);
+  }
+  em.push_back(0x00);
+  em.insert(em.end(), plaintext.begin(), plaintext.end());
+  return rsa_public_op(key, Bignum::from_bytes_be(em)).to_bytes_be(k);
+}
+
+std::optional<Bytes> rsa_pkcs1v15_decrypt(const RsaPrivateKey& key,
+                                          std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const Bytes em = rsa_private_op(key, Bignum::from_bytes_be(ciphertext)).to_bytes_be(k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0) ++sep;
+  if (sep == em.size() || sep < 10) return std::nullopt;
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
+}
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, HashAlgorithm alg,
+                       std::span<const std::uint8_t> plaintext, Rng& rng) {
+  const std::size_t k = key.modulus_bytes();
+  const std::size_t h_len = digest_size(alg);
+  if (plaintext.size() > k - 2 * h_len - 2) throw std::invalid_argument("plaintext too long");
+  const Bytes l_hash = hash(alg, std::span<const std::uint8_t>{});
+  Bytes db = l_hash;
+  db.insert(db.end(), k - plaintext.size() - 2 * h_len - 2, 0x00);
+  db.push_back(0x01);
+  db.insert(db.end(), plaintext.begin(), plaintext.end());
+
+  const Bytes seed = rng.bytes(h_len);
+  const Bytes db_mask = mgf1(alg, seed, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  Bytes seed_masked = seed;
+  const Bytes seed_mask = mgf1(alg, db, h_len);
+  for (std::size_t i = 0; i < h_len; ++i) seed_masked[i] ^= seed_mask[i];
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), seed_masked.begin(), seed_masked.end());
+  em.insert(em.end(), db.begin(), db.end());
+  return rsa_public_op(key, Bignum::from_bytes_be(em)).to_bytes_be(k);
+}
+
+std::optional<Bytes> rsa_oaep_decrypt(const RsaPrivateKey& key, HashAlgorithm alg,
+                                      std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = key.modulus_bytes();
+  const std::size_t h_len = digest_size(alg);
+  if (ciphertext.size() != k || k < 2 * h_len + 2) return std::nullopt;
+  const Bytes em = rsa_private_op(key, Bignum::from_bytes_be(ciphertext)).to_bytes_be(k);
+  if (em[0] != 0x00) return std::nullopt;
+
+  Bytes seed(em.begin() + 1, em.begin() + 1 + static_cast<std::ptrdiff_t>(h_len));
+  Bytes db(em.begin() + 1 + static_cast<std::ptrdiff_t>(h_len), em.end());
+  const Bytes seed_mask = mgf1(alg, db, h_len);
+  for (std::size_t i = 0; i < h_len; ++i) seed[i] ^= seed_mask[i];
+  const Bytes db_mask = mgf1(alg, seed, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  const Bytes l_hash = hash(alg, std::span<const std::uint8_t>{});
+  if (!std::equal(l_hash.begin(), l_hash.end(), db.begin())) return std::nullopt;
+  std::size_t i = h_len;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) return std::nullopt;
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i + 1), db.end());
+}
+
+}  // namespace opcua_study

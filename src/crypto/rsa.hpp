@@ -1,0 +1,85 @@
+// RSA primitives for OPC UA secure-channel crypto and certificate
+// signatures.
+//
+// Policy mapping (Table 1 of the paper / OPC UA profiles):
+//   Basic128Rsa15          → PKCS#1 v1.5 encryption, PKCS#1 v1.5 SHA-1 sigs
+//   Basic256               → OAEP(SHA-1) encryption,  PKCS#1 v1.5 SHA-1 sigs
+//   Aes128_Sha256_RsaOaep  → OAEP(SHA-1) encryption,  PKCS#1 v1.5 SHA-256 sigs
+//   Basic256Sha256         → OAEP(SHA-1) encryption,  PKCS#1 v1.5 SHA-256 sigs
+//   Aes256_Sha256_RsaPss   → OAEP(SHA-256) encryption, PSS SHA-256 sigs
+#pragma once
+
+#include <optional>
+
+#include "crypto/bignum.hpp"
+#include "crypto/hash.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+
+struct RsaPublicKey {
+  Bignum n;
+  Bignum e;
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+  std::size_t modulus_bits() const { return n.bit_length(); }
+  bool operator==(const RsaPublicKey& o) const { return n == o.n && e == o.e; }
+};
+
+struct RsaPrivateKey {
+  Bignum n, e, d;
+  Bignum p, q, dp, dq, qinv;  // CRT components
+
+  RsaPublicKey public_key() const { return {n, e}; }
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generate an RSA key with public exponent 65537. `bits` is the modulus
+/// size (1024 / 2048 / 4096 in the study corpus; tests use smaller).
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, int mr_rounds = 12);
+
+/// Raw modular exponentiation (m^e mod n) — building block only.
+Bignum rsa_public_op(const RsaPublicKey& key, const Bignum& m);
+/// Raw private operation via CRT.
+Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& c);
+
+// --- Signatures -----------------------------------------------------------
+
+Bytes rsa_pkcs1v15_sign(const RsaPrivateKey& key, HashAlgorithm alg,
+                        std::span<const std::uint8_t> message);
+bool rsa_pkcs1v15_verify(const RsaPublicKey& key, HashAlgorithm alg,
+                         std::span<const std::uint8_t> message,
+                         std::span<const std::uint8_t> signature);
+
+Bytes rsa_pss_sign(const RsaPrivateKey& key, HashAlgorithm alg,
+                   std::span<const std::uint8_t> message, Rng& rng);
+bool rsa_pss_verify(const RsaPublicKey& key, HashAlgorithm alg,
+                    std::span<const std::uint8_t> message,
+                    std::span<const std::uint8_t> signature);
+
+// --- Encryption -----------------------------------------------------------
+
+/// Max plaintext bytes a single RSA block can carry under each scheme.
+std::size_t rsa_pkcs1v15_max_plaintext(const RsaPublicKey& key);
+std::size_t rsa_oaep_max_plaintext(const RsaPublicKey& key, HashAlgorithm alg);
+
+Bytes rsa_pkcs1v15_encrypt(const RsaPublicKey& key, std::span<const std::uint8_t> plaintext,
+                           Rng& rng);
+std::optional<Bytes> rsa_pkcs1v15_decrypt(const RsaPrivateKey& key,
+                                          std::span<const std::uint8_t> ciphertext);
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, HashAlgorithm alg,
+                       std::span<const std::uint8_t> plaintext, Rng& rng);
+std::optional<Bytes> rsa_oaep_decrypt(const RsaPrivateKey& key, HashAlgorithm alg,
+                                      std::span<const std::uint8_t> ciphertext);
+
+/// MGF1 mask generation (shared by OAEP and PSS).
+Bytes mgf1(HashAlgorithm alg, std::span<const std::uint8_t> seed, std::size_t length);
+
+}  // namespace opcua_study

@@ -1,0 +1,23 @@
+#include "netsim/asdb.hpp"
+
+namespace opcua_study {
+
+void AsDatabase::add(const Cidr& prefix, AsInfo info) {
+  entries_.push_back({prefix, std::move(info)});
+}
+
+const AsInfo* AsDatabase::lookup(Ipv4 addr) const {
+  const Entry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!entry.prefix.contains(addr)) continue;
+    if (best == nullptr || entry.prefix.prefix_len > best->prefix.prefix_len) best = &entry;
+  }
+  return best == nullptr ? nullptr : &best->info;
+}
+
+std::uint32_t AsDatabase::asn_of(Ipv4 addr) const {
+  const AsInfo* info = lookup(addr);
+  return info == nullptr ? 0 : info->asn;
+}
+
+}  // namespace opcua_study

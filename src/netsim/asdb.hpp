@@ -1,0 +1,39 @@
+// Autonomous-system database: prefix → ASN mapping.
+//
+// §B.1.2 of the paper breaks configuration deficits down by AS and finds
+// (i) an "(I)IoT ISP" AS concentrating weak-certificate and reused-
+// certificate hosts and (ii) two regional ISPs concentrating deprecated
+// policies + anonymous access. The simulated Internet assigns prefixes to
+// ASes so those breakdowns can be reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ipv4.hpp"
+
+namespace opcua_study {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+};
+
+class AsDatabase {
+ public:
+  void add(const Cidr& prefix, AsInfo info);
+  /// Longest-prefix match; nullptr when unrouted.
+  const AsInfo* lookup(Ipv4 addr) const;
+  std::uint32_t asn_of(Ipv4 addr) const;  // 0 when unrouted
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Cidr prefix;
+    AsInfo info;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace opcua_study

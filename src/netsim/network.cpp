@@ -1,0 +1,89 @@
+#include "netsim/network.hpp"
+
+#include "util/rng.hpp"
+
+namespace opcua_study {
+
+Network::Network() = default;
+
+void Network::listen(Ipv4 ip, std::uint16_t port, HandlerFactory factory) {
+  listeners_[key(ip, port)] = std::move(factory);
+}
+
+void Network::close_listener(Ipv4 ip, std::uint16_t port) { listeners_.erase(key(ip, port)); }
+
+bool Network::is_listening(Ipv4 ip, std::uint16_t port) const {
+  return listeners_.contains(key(ip, port));
+}
+
+std::uint64_t Network::rtt_us(Ipv4 ip) const {
+  // Deterministic 10..150 ms derived from the address (splitmix finalizer —
+  // adjacent addresses must not share a path delay).
+  std::uint64_t h = ip + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return 10000 + h % 140000;
+}
+
+bool Network::syn_probe(Ipv4 ip, std::uint16_t port) {
+  // zmap-style stateless probe: one RTT worth of simulated time, amortized —
+  // zmap keeps thousands of probes in flight, so we charge a microsecond.
+  clock_.advance_us(1);
+  return is_listening(ip, port);
+}
+
+std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port) {
+  const auto it = listeners_.find(key(ip, port));
+  if (it == listeners_.end()) {
+    clock_.advance_us(rtt_us(ip));  // RST after one RTT
+    return nullptr;
+  }
+  clock_.advance_us(rtt_us(ip));  // three-way handshake
+  return std::make_unique<NetConnection>(*this, ip, it->second());
+}
+
+std::vector<std::pair<Ipv4, std::uint16_t>> Network::bound_endpoints() const {
+  std::vector<std::pair<Ipv4, std::uint16_t>> out;
+  out.reserve(listeners_.size());
+  for (const auto& [k, factory] : listeners_) {
+    out.emplace_back(static_cast<Ipv4>(k >> 16), static_cast<std::uint16_t>(k & 0xffff));
+  }
+  return out;
+}
+
+NetConnection::NetConnection(Network& net, Ipv4 peer, std::unique_ptr<ConnectionHandler> handler)
+    : net_(net), peer_(peer), handler_(std::move(handler)) {}
+
+Bytes NetConnection::roundtrip(const Bytes& request) {
+  if (handler_ == nullptr || handler_->closed()) {
+    throw DecodeError("connection closed by peer");
+  }
+  bytes_sent_ += request.size();
+  net_.total_bytes_sent_ += request.size();
+  net_.clock_.advance_us(net_.rtt_us(peer_) + request.size() / 10);  // ~10 MB/s path
+  Bytes response = handler_->on_message(request);
+  if (response.empty()) {
+    handler_.reset();
+    throw DecodeError("connection closed by peer");
+  }
+  bytes_received_ += response.size();
+  net_.total_bytes_received_ += response.size();
+  net_.clock_.advance_us(response.size() / 10);
+  return response;
+}
+
+void NetConnection::send_oneway(const Bytes& message) {
+  if (handler_ == nullptr) return;
+  bytes_sent_ += message.size();
+  net_.total_bytes_sent_ += message.size();
+  net_.clock_.advance_us(net_.rtt_us(peer_) / 2);
+  handler_->on_message(message);
+}
+
+Bytes DummyBannerService::on_message(std::span<const std::uint8_t>) {
+  served_ = true;
+  return to_bytes("HTTP/1.0 400 Bad Request\r\nServer: " + banner_ + "\r\n\r\n");
+}
+
+}  // namespace opcua_study

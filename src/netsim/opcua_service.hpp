@@ -1,0 +1,32 @@
+// Glue: host an opcua::Server behind a netsim listener.
+#pragma once
+
+#include <memory>
+
+#include "netsim/network.hpp"
+#include "opcua/server.hpp"
+
+namespace opcua_study {
+
+class OpcUaService : public ConnectionHandler {
+ public:
+  explicit OpcUaService(std::shared_ptr<Server> server)
+      : server_(std::move(server)), connection_(server_->accept()) {}
+
+  Bytes on_message(std::span<const std::uint8_t> request) override {
+    return connection_->on_frame(request);
+  }
+  bool closed() const override { return connection_->closed(); }
+
+ private:
+  std::shared_ptr<Server> server_;
+  std::unique_ptr<ServerConnection> connection_;
+};
+
+inline HandlerFactory make_opcua_factory(std::shared_ptr<Server> server) {
+  return [server = std::move(server)]() -> std::unique_ptr<ConnectionHandler> {
+    return std::make_unique<OpcUaService>(server);
+  };
+}
+
+}  // namespace opcua_study

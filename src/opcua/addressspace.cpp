@@ -1,0 +1,169 @@
+#include "opcua/addressspace.hpp"
+
+namespace opcua_study {
+
+AddressSpace::AddressSpace() {
+  namespaces_.push_back("http://opcfoundation.org/UA/");
+
+  auto add_core = [this](const NodeId& id, NodeClass cls, const std::string& name) -> Node& {
+    Node node;
+    node.id = id;
+    node.node_class = cls;
+    node.browse_name = {0, name};
+    node.display_name = {"", name};
+    return nodes_.emplace(id, std::move(node)).first->second;
+  };
+
+  add_core(node_ids::kRootFolder, NodeClass::Object, "Root");
+  add_core(node_ids::kObjectsFolder, NodeClass::Object, "Objects");
+  add_core(node_ids::kServer, NodeClass::Object, "Server");
+  add_core(node_ids::kNamespaceArray, NodeClass::Variable, "NamespaceArray");
+  add_core(node_ids::kServerArray, NodeClass::Variable, "ServerArray");
+  add_core(node_ids::kServerStatus, NodeClass::Variable, "ServerStatus");
+  add_core(node_ids::kSoftwareVersion, NodeClass::Variable, "SoftwareVersion");
+
+  link(node_ids::kRootFolder, node_ids::kObjectsFolder, node_ids::kOrganizes);
+  link(node_ids::kObjectsFolder, node_ids::kServer, node_ids::kOrganizes);
+  link(node_ids::kServer, node_ids::kNamespaceArray, node_ids::kHasComponent);
+  link(node_ids::kServer, node_ids::kServerArray, node_ids::kHasComponent);
+  link(node_ids::kServer, node_ids::kServerStatus, node_ids::kHasComponent);
+  link(node_ids::kServerStatus, node_ids::kSoftwareVersion, node_ids::kHasComponent);
+}
+
+void AddressSpace::link(const NodeId& parent, const NodeId& child, const NodeId& ref_type) {
+  references_[parent].push_back({ref_type, child, true});
+}
+
+std::uint16_t AddressSpace::add_namespace(const std::string& uri) {
+  for (std::size_t i = 0; i < namespaces_.size(); ++i) {
+    if (namespaces_[i] == uri) return static_cast<std::uint16_t>(i);
+  }
+  namespaces_.push_back(uri);
+  return static_cast<std::uint16_t>(namespaces_.size() - 1);
+}
+
+Node& AddressSpace::add_object(const NodeId& id, const NodeId& parent, const std::string& name) {
+  Node node;
+  node.id = id;
+  node.node_class = NodeClass::Object;
+  node.browse_name = {id.namespace_index, name};
+  node.display_name = {"", name};
+  auto& stored = nodes_.emplace(id, std::move(node)).first->second;
+  link(parent, id, node_ids::kOrganizes);
+  return stored;
+}
+
+Node& AddressSpace::add_variable(const NodeId& id, const NodeId& parent, const std::string& name,
+                                 Variant value, std::uint8_t user_access) {
+  Node node;
+  node.id = id;
+  node.node_class = NodeClass::Variable;
+  node.browse_name = {id.namespace_index, name};
+  node.display_name = {"", name};
+  node.value = std::move(value);
+  node.access_level = access_level::kCurrentRead | access_level::kCurrentWrite;
+  node.user_access_level = user_access;
+  auto& stored = nodes_.emplace(id, std::move(node)).first->second;
+  link(parent, id, node_ids::kHasComponent);
+  return stored;
+}
+
+Node& AddressSpace::add_method(const NodeId& id, const NodeId& parent, const std::string& name,
+                               bool user_executable) {
+  Node node;
+  node.id = id;
+  node.node_class = NodeClass::Method;
+  node.browse_name = {id.namespace_index, name};
+  node.display_name = {"", name};
+  node.executable = true;
+  node.user_executable = user_executable;
+  auto& stored = nodes_.emplace(id, std::move(node)).first->second;
+  link(parent, id, node_ids::kHasComponent);
+  return stored;
+}
+
+const Node* AddressSpace::find(const NodeId& id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Node* AddressSpace::find_mutable(const NodeId& id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Reference>& AddressSpace::references_of(const NodeId& id) const {
+  static const std::vector<Reference> kEmpty;
+  const auto it = references_.find(id);
+  return it == references_.end() ? kEmpty : it->second;
+}
+
+DataValue AddressSpace::read_attribute(const NodeId& id, AttributeId attribute) const {
+  DataValue dv;
+  const Node* node = find(id);
+  if (node == nullptr) {
+    dv.status = StatusCode::BadNodeIdUnknown;
+    return dv;
+  }
+  switch (attribute) {
+    case AttributeId::NodeId: dv.value = Variant{node->id.to_string()}; break;
+    case AttributeId::NodeClass:
+      dv.value = Variant{static_cast<std::uint32_t>(node->node_class)};
+      break;
+    case AttributeId::BrowseName: dv.value = Variant{node->browse_name.name}; break;
+    case AttributeId::DisplayName: dv.value = Variant{node->display_name.text}; break;
+    case AttributeId::Value:
+      if (node->id == node_ids::kNamespaceArray) {
+        dv.value = Variant{namespaces_};
+      } else if (node->id == node_ids::kSoftwareVersion) {
+        dv.value = Variant{software_version_};
+      } else if (node->node_class != NodeClass::Variable) {
+        dv.status = StatusCode::BadAttributeIdInvalid;
+      } else if ((node->user_access_level & access_level::kCurrentRead) == 0) {
+        dv.status = StatusCode::BadNotReadable;
+      } else {
+        dv.value = node->value;
+      }
+      break;
+    case AttributeId::AccessLevel:
+      if (node->node_class != NodeClass::Variable) {
+        dv.status = StatusCode::BadAttributeIdInvalid;
+      } else {
+        dv.value = Variant{static_cast<std::uint32_t>(node->access_level)};
+      }
+      break;
+    case AttributeId::UserAccessLevel:
+      if (node->node_class != NodeClass::Variable) {
+        dv.status = StatusCode::BadAttributeIdInvalid;
+      } else {
+        dv.value = Variant{static_cast<std::uint32_t>(node->user_access_level)};
+      }
+      break;
+    case AttributeId::Executable:
+      if (node->node_class != NodeClass::Method) {
+        dv.status = StatusCode::BadAttributeIdInvalid;
+      } else {
+        dv.value = Variant{node->executable};
+      }
+      break;
+    case AttributeId::UserExecutable:
+      if (node->node_class != NodeClass::Method) {
+        dv.status = StatusCode::BadAttributeIdInvalid;
+      } else {
+        dv.value = Variant{node->user_executable};
+      }
+      break;
+    default: dv.status = StatusCode::BadAttributeIdInvalid; break;
+  }
+  return dv;
+}
+
+std::size_t AddressSpace::count_of_class(NodeClass cls) const {
+  std::size_t n = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node.node_class == cls) ++n;
+  }
+  return n;
+}
+
+}  // namespace opcua_study

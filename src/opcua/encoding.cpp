@@ -1,0 +1,212 @@
+#include "opcua/encoding.hpp"
+
+namespace opcua_study {
+
+namespace {
+// Variant type ids (OPC 10000-6 §5.1.2).
+constexpr std::uint8_t kTypeBool = 1;
+constexpr std::uint8_t kTypeInt32 = 6;
+constexpr std::uint8_t kTypeUInt32 = 7;
+constexpr std::uint8_t kTypeInt64 = 8;
+constexpr std::uint8_t kTypeDouble = 11;
+constexpr std::uint8_t kTypeString = 12;
+constexpr std::uint8_t kTypeByteString = 15;
+constexpr std::uint8_t kArrayFlag = 0x80;
+}  // namespace
+
+void UaWriter::string(const std::string& s) {
+  w_.i32(static_cast<std::int32_t>(s.size()));
+  w_.raw(s);
+}
+
+void UaWriter::byte_string(const Bytes& b) {
+  w_.i32(static_cast<std::int32_t>(b.size()));
+  w_.raw(b);
+}
+
+void UaWriter::node_id(const NodeId& id) {
+  if (id.is_numeric()) {
+    const std::uint32_t num = id.numeric();
+    if (id.namespace_index == 0 && num <= 0xff) {
+      w_.u8(0x00);  // two-byte form
+      w_.u8(static_cast<std::uint8_t>(num));
+    } else if (id.namespace_index <= 0xff && num <= 0xffff) {
+      w_.u8(0x01);  // four-byte form
+      w_.u8(static_cast<std::uint8_t>(id.namespace_index));
+      w_.u16(static_cast<std::uint16_t>(num));
+    } else {
+      w_.u8(0x02);  // numeric form
+      w_.u16(id.namespace_index);
+      w_.u32(num);
+    }
+  } else {
+    w_.u8(0x03);  // string form
+    w_.u16(id.namespace_index);
+    string(id.text());
+  }
+}
+
+void UaWriter::expanded_node_id(const NodeId& id) { node_id(id); }
+
+void UaWriter::qualified_name(const QualifiedName& qn) {
+  w_.u16(qn.namespace_index);
+  string(qn.name);
+}
+
+void UaWriter::localized_text(const LocalizedText& lt) {
+  std::uint8_t mask = 0;
+  if (!lt.locale.empty()) mask |= 0x01;
+  if (!lt.text.empty()) mask |= 0x02;
+  w_.u8(mask);
+  if (mask & 0x01) string(lt.locale);
+  if (mask & 0x02) string(lt.text);
+}
+
+void UaWriter::string_array(const std::vector<std::string>& items) {
+  w_.i32(static_cast<std::int32_t>(items.size()));
+  for (const auto& s : items) string(s);
+}
+
+void UaWriter::variant(const Variant& v) {
+  struct Visitor {
+    UaWriter& w;
+    void operator()(std::monostate) { w.byte(0); }
+    void operator()(bool b) {
+      w.byte(kTypeBool);
+      w.boolean(b);
+    }
+    void operator()(std::int32_t x) {
+      w.byte(kTypeInt32);
+      w.i32(x);
+    }
+    void operator()(std::uint32_t x) {
+      w.byte(kTypeUInt32);
+      w.u32(x);
+    }
+    void operator()(std::int64_t x) {
+      w.byte(kTypeInt64);
+      w.i64(x);
+    }
+    void operator()(double x) {
+      w.byte(kTypeDouble);
+      w.f64(x);
+    }
+    void operator()(const std::string& s) {
+      w.byte(kTypeString);
+      w.string(s);
+    }
+    void operator()(const Bytes& b) {
+      w.byte(kTypeByteString);
+      w.byte_string(b);
+    }
+    void operator()(const std::vector<std::string>& arr) {
+      w.byte(kTypeString | kArrayFlag);
+      w.string_array(arr);
+    }
+  };
+  std::visit(Visitor{*this}, v.value);
+}
+
+void UaWriter::data_value(const DataValue& dv) {
+  std::uint8_t mask = 0;
+  if (!dv.value.empty()) mask |= 0x01;
+  if (dv.status != StatusCode::Good) mask |= 0x02;
+  if (dv.source_timestamp != 0) mask |= 0x04;
+  w_.u8(mask);
+  if (mask & 0x01) variant(dv.value);
+  if (mask & 0x02) status(dv.status);
+  if (mask & 0x04) datetime(dv.source_timestamp);
+}
+
+// -------------------------------------------------------------- UaReader ----
+
+std::string UaReader::string() {
+  const std::int32_t len = r_.i32();
+  if (len < 0) return {};
+  return to_string(r_.view(static_cast<std::size_t>(len)));
+}
+
+Bytes UaReader::byte_string() {
+  const std::int32_t len = r_.i32();
+  if (len < 0) return {};
+  return r_.raw(static_cast<std::size_t>(len));
+}
+
+NodeId UaReader::node_id() {
+  const std::uint8_t form = r_.u8() & 0x3f;  // mask namespace-uri/server-index flags
+  switch (form) {
+    case 0x00: return NodeId(0, r_.u8());
+    case 0x01: {
+      const std::uint8_t ns = r_.u8();
+      return NodeId(ns, r_.u16());
+    }
+    case 0x02: {
+      const std::uint16_t ns = r_.u16();
+      return NodeId(ns, r_.u32());
+    }
+    case 0x03: {
+      const std::uint16_t ns = r_.u16();
+      return NodeId(ns, string());
+    }
+    default: throw DecodeError("unsupported NodeId form " + std::to_string(form));
+  }
+}
+
+NodeId UaReader::expanded_node_id() { return node_id(); }
+
+QualifiedName UaReader::qualified_name() {
+  QualifiedName qn;
+  qn.namespace_index = r_.u16();
+  qn.name = string();
+  return qn;
+}
+
+LocalizedText UaReader::localized_text() {
+  LocalizedText lt;
+  const std::uint8_t mask = r_.u8();
+  if (mask & 0x01) lt.locale = string();
+  if (mask & 0x02) lt.text = string();
+  return lt;
+}
+
+std::vector<std::string> UaReader::string_array() {
+  const std::int32_t len = r_.i32();
+  if (len < 0) return {};
+  if (static_cast<std::size_t>(len) > r_.remaining()) throw DecodeError("array too long");
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(len));
+  for (std::int32_t i = 0; i < len; ++i) out.push_back(string());
+  return out;
+}
+
+Variant UaReader::variant() {
+  const std::uint8_t mask = r_.u8();
+  if (mask == 0) return Variant{};
+  const std::uint8_t type = mask & 0x3f;
+  const bool is_array = mask & kArrayFlag;
+  if (is_array) {
+    if (type != kTypeString) throw DecodeError("unsupported array variant type");
+    return Variant{string_array()};
+  }
+  switch (type) {
+    case kTypeBool: return Variant{boolean()};
+    case kTypeInt32: return Variant{i32()};
+    case kTypeUInt32: return Variant{u32()};
+    case kTypeInt64: return Variant{i64()};
+    case kTypeDouble: return Variant{f64()};
+    case kTypeString: return Variant{string()};
+    case kTypeByteString: return Variant{byte_string()};
+    default: throw DecodeError("unsupported variant type " + std::to_string(type));
+  }
+}
+
+DataValue UaReader::data_value() {
+  DataValue dv;
+  const std::uint8_t mask = r_.u8();
+  if (mask & 0x01) dv.value = variant();
+  if (mask & 0x02) dv.status = status();
+  if (mask & 0x04) dv.source_timestamp = datetime();
+  return dv;
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,103 @@
+// OPC UA binary encoding (OPC 10000-6 §5.2) over ByteWriter/ByteReader.
+//
+// Everything on the wire in this project goes through UaWriter/UaReader:
+// the scanner's grabber, the simulated servers, and the secure-channel
+// layer all speak this encoding, exactly like the paper's zgrab2 module
+// spoke gopcua's.
+#pragma once
+
+#include "opcua/types.hpp"
+#include "util/bytes.hpp"
+
+namespace opcua_study {
+
+class UaWriter {
+ public:
+  ByteWriter& base() { return w_; }
+
+  void boolean(bool v) { w_.u8(v ? 1 : 0); }
+  void byte(std::uint8_t v) { w_.u8(v); }
+  void u16(std::uint16_t v) { w_.u16(v); }
+  void u32(std::uint32_t v) { w_.u32(v); }
+  void u64(std::uint64_t v) { w_.u64(v); }
+  void i32(std::int32_t v) { w_.i32(v); }
+  void i64(std::int64_t v) { w_.i64(v); }
+  void f64(double v) { w_.f64(v); }
+  void status(StatusCode v) { w_.u32(static_cast<std::uint32_t>(v)); }
+  void datetime(std::int64_t filetime) { w_.i64(filetime); }
+
+  /// UA String / ByteString: length-prefixed, -1 == null.
+  void string(const std::string& s);
+  void null_string() { w_.i32(-1); }
+  void byte_string(const Bytes& b);
+  void null_byte_string() { w_.i32(-1); }
+
+  void node_id(const NodeId& id);
+  /// ExpandedNodeId with neither namespace URI nor server index.
+  void expanded_node_id(const NodeId& id);
+  void qualified_name(const QualifiedName& qn);
+  void localized_text(const LocalizedText& lt);
+  void variant(const Variant& v);
+  void data_value(const DataValue& dv);
+
+  template <typename T, typename Fn>
+  void array(const std::vector<T>& items, Fn&& encode_one) {
+    w_.i32(static_cast<std::int32_t>(items.size()));
+    for (const auto& item : items) encode_one(*this, item);
+  }
+  void string_array(const std::vector<std::string>& items);
+
+  Bytes take() { return w_.take(); }
+  const Bytes& bytes() const { return w_.bytes(); }
+
+ private:
+  ByteWriter w_;
+};
+
+class UaReader {
+ public:
+  explicit UaReader(std::span<const std::uint8_t> data) : r_(data) {}
+
+  ByteReader& base() { return r_; }
+
+  bool boolean() { return r_.u8() != 0; }
+  std::uint8_t byte() { return r_.u8(); }
+  std::uint16_t u16() { return r_.u16(); }
+  std::uint32_t u32() { return r_.u32(); }
+  std::uint64_t u64() { return r_.u64(); }
+  std::int32_t i32() { return r_.i32(); }
+  std::int64_t i64() { return r_.i64(); }
+  double f64() { return r_.f64(); }
+  StatusCode status() { return static_cast<StatusCode>(r_.u32()); }
+  std::int64_t datetime() { return r_.i64(); }
+
+  std::string string();
+  Bytes byte_string();
+
+  NodeId node_id();
+  NodeId expanded_node_id();
+  QualifiedName qualified_name();
+  LocalizedText localized_text();
+  Variant variant();
+  DataValue data_value();
+
+  template <typename T, typename Fn>
+  std::vector<T> array(Fn&& decode_one) {
+    const std::int32_t len = r_.i32();
+    if (len < 0) return {};
+    if (static_cast<std::size_t>(len) > r_.remaining()) throw DecodeError("array too long");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(len));
+    for (std::int32_t i = 0; i < len; ++i) out.push_back(decode_one(*this));
+    return out;
+  }
+  std::vector<std::string> string_array();
+
+  bool done() const { return r_.done(); }
+  std::size_t remaining() const { return r_.remaining(); }
+
+ private:
+  ByteReader r_;
+};
+
+}  // namespace opcua_study

@@ -1,0 +1,736 @@
+#include "opcua/messages.hpp"
+
+namespace opcua_study {
+
+namespace {
+/// Null extension object (TypeId 0 + no body) for fields we carry but do not
+/// interpret (additional headers, diagnostics).
+void write_null_extension(UaWriter& w) {
+  w.node_id(NodeId(0, 0));
+  w.byte(0x00);
+}
+void skip_extension(UaReader& r) {
+  r.node_id();
+  const std::uint8_t encoding = r.byte();
+  if (encoding & 0x01) {
+    const std::int32_t len = r.i32();
+    if (len > 0) r.base().skip(static_cast<std::size_t>(len));
+  }
+}
+void write_null_diagnostic(UaWriter& w) { w.byte(0x00); }
+void skip_diagnostic(UaReader& r) { r.byte(); }
+}  // namespace
+
+std::string user_token_type_name(UserTokenType t) {
+  switch (t) {
+    case UserTokenType::Anonymous: return "anonymous";
+    case UserTokenType::UserName: return "credentials";
+    case UserTokenType::Certificate: return "certificate";
+    case UserTokenType::IssuedToken: return "token";
+  }
+  return "?";
+}
+
+void RequestHeader::encode(UaWriter& w) const {
+  w.node_id(authentication_token);
+  w.datetime(timestamp);
+  w.u32(request_handle);
+  w.u32(0);  // returnDiagnostics
+  w.null_string();  // auditEntryId
+  w.u32(timeout_hint);
+  write_null_extension(w);
+}
+
+RequestHeader RequestHeader::decode(UaReader& r) {
+  RequestHeader h;
+  h.authentication_token = r.node_id();
+  h.timestamp = r.datetime();
+  h.request_handle = r.u32();
+  r.u32();
+  r.string();
+  h.timeout_hint = r.u32();
+  skip_extension(r);
+  return h;
+}
+
+void ResponseHeader::encode(UaWriter& w) const {
+  w.datetime(timestamp);
+  w.u32(request_handle);
+  w.status(service_result);
+  write_null_diagnostic(w);
+  w.i32(-1);  // stringTable: null array
+  write_null_extension(w);
+}
+
+ResponseHeader ResponseHeader::decode(UaReader& r) {
+  ResponseHeader h;
+  h.timestamp = r.datetime();
+  h.request_handle = r.u32();
+  h.service_result = r.status();
+  skip_diagnostic(r);
+  r.string_array();
+  skip_extension(r);
+  return h;
+}
+
+void ApplicationDescription::encode(UaWriter& w) const {
+  w.string(application_uri);
+  w.string(product_uri);
+  w.localized_text(application_name);
+  w.u32(static_cast<std::uint32_t>(application_type));
+  w.null_string();  // gatewayServerUri
+  w.null_string();  // discoveryProfileUri
+  w.string_array(discovery_urls);
+}
+
+ApplicationDescription ApplicationDescription::decode(UaReader& r) {
+  ApplicationDescription a;
+  a.application_uri = r.string();
+  a.product_uri = r.string();
+  a.application_name = r.localized_text();
+  a.application_type = static_cast<ApplicationType>(r.u32());
+  r.string();
+  r.string();
+  a.discovery_urls = r.string_array();
+  return a;
+}
+
+void UserTokenPolicy::encode(UaWriter& w) const {
+  w.string(policy_id);
+  w.u32(static_cast<std::uint32_t>(token_type));
+  w.null_string();  // issuedTokenType
+  w.null_string();  // issuerEndpointUrl
+  w.string(security_policy_uri);
+}
+
+UserTokenPolicy UserTokenPolicy::decode(UaReader& r) {
+  UserTokenPolicy p;
+  p.policy_id = r.string();
+  p.token_type = static_cast<UserTokenType>(r.u32());
+  r.string();
+  r.string();
+  p.security_policy_uri = r.string();
+  return p;
+}
+
+void EndpointDescription::encode(UaWriter& w) const {
+  w.string(endpoint_url);
+  server.encode(w);
+  w.byte_string(server_certificate);
+  w.u32(static_cast<std::uint32_t>(security_mode));
+  w.string(security_policy_uri);
+  w.array(user_identity_tokens, [](UaWriter& ww, const UserTokenPolicy& p) { p.encode(ww); });
+  w.string(transport_profile_uri);
+  w.byte(security_level);
+}
+
+EndpointDescription EndpointDescription::decode(UaReader& r) {
+  EndpointDescription e;
+  e.endpoint_url = r.string();
+  e.server = ApplicationDescription::decode(r);
+  e.server_certificate = r.byte_string();
+  e.security_mode = static_cast<MessageSecurityMode>(r.u32());
+  e.security_policy_uri = r.string();
+  e.user_identity_tokens =
+      r.array<UserTokenPolicy>([](UaReader& rr) { return UserTokenPolicy::decode(rr); });
+  e.transport_profile_uri = r.string();
+  e.security_level = r.byte();
+  return e;
+}
+
+void SignatureData::encode(UaWriter& w) const {
+  if (algorithm.empty()) {
+    w.null_string();
+  } else {
+    w.string(algorithm);
+  }
+  if (signature.empty()) {
+    w.null_byte_string();
+  } else {
+    w.byte_string(signature);
+  }
+}
+
+SignatureData SignatureData::decode(UaReader& r) {
+  SignatureData s;
+  s.algorithm = r.string();
+  s.signature = r.byte_string();
+  return s;
+}
+
+void UserIdentityToken::encode(UaWriter& w) const {
+  std::uint32_t type_id = type_ids::kAnonymousIdentityToken;
+  switch (kind) {
+    case UserTokenType::Anonymous: type_id = type_ids::kAnonymousIdentityToken; break;
+    case UserTokenType::UserName: type_id = type_ids::kUserNameIdentityToken; break;
+    case UserTokenType::Certificate: type_id = type_ids::kX509IdentityToken; break;
+    case UserTokenType::IssuedToken: type_id = type_ids::kIssuedIdentityToken; break;
+  }
+  w.node_id(NodeId(0, type_id));
+  w.byte(0x01);  // body is a ByteString
+  UaWriter body;
+  body.string(policy_id);
+  switch (kind) {
+    case UserTokenType::Anonymous: break;
+    case UserTokenType::UserName:
+      body.string(user_name);
+      body.byte_string(password);
+      body.null_string();  // encryptionAlgorithm
+      break;
+    case UserTokenType::Certificate: body.byte_string(certificate_data); break;
+    case UserTokenType::IssuedToken:
+      body.byte_string(token_data);
+      body.null_string();
+      break;
+  }
+  w.byte_string(body.take());
+}
+
+UserIdentityToken UserIdentityToken::decode(UaReader& r) {
+  UserIdentityToken t;
+  const NodeId type_node = r.node_id();
+  const std::uint8_t encoding = r.byte();
+  if (encoding != 0x01) throw DecodeError("identity token must have binary body");
+  const Bytes body_bytes = r.byte_string();
+  UaReader body(body_bytes);
+  const std::uint32_t type_id = type_node.is_numeric() ? type_node.numeric() : 0;
+  t.policy_id = body.string();
+  switch (type_id) {
+    case type_ids::kAnonymousIdentityToken: t.kind = UserTokenType::Anonymous; break;
+    case type_ids::kUserNameIdentityToken:
+      t.kind = UserTokenType::UserName;
+      t.user_name = body.string();
+      t.password = body.byte_string();
+      body.string();
+      break;
+    case type_ids::kX509IdentityToken:
+      t.kind = UserTokenType::Certificate;
+      t.certificate_data = body.byte_string();
+      break;
+    case type_ids::kIssuedIdentityToken:
+      t.kind = UserTokenType::IssuedToken;
+      t.token_data = body.byte_string();
+      break;
+    default: throw DecodeError("unknown identity token type");
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- services ----
+
+void OpenSecureChannelRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.u32(client_protocol_version);
+  w.u32(request_type);
+  w.u32(static_cast<std::uint32_t>(security_mode));
+  w.byte_string(client_nonce);
+  w.u32(requested_lifetime_ms);
+}
+
+OpenSecureChannelRequest OpenSecureChannelRequest::decode(UaReader& r) {
+  OpenSecureChannelRequest m;
+  m.header = RequestHeader::decode(r);
+  m.client_protocol_version = r.u32();
+  m.request_type = r.u32();
+  m.security_mode = static_cast<MessageSecurityMode>(r.u32());
+  m.client_nonce = r.byte_string();
+  m.requested_lifetime_ms = r.u32();
+  return m;
+}
+
+void OpenSecureChannelResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.u32(server_protocol_version);
+  w.u32(channel_id);
+  w.u32(token_id);
+  w.datetime(created_at);
+  w.u32(revised_lifetime_ms);
+  w.byte_string(server_nonce);
+}
+
+OpenSecureChannelResponse OpenSecureChannelResponse::decode(UaReader& r) {
+  OpenSecureChannelResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.server_protocol_version = r.u32();
+  m.channel_id = r.u32();
+  m.token_id = r.u32();
+  m.created_at = r.datetime();
+  m.revised_lifetime_ms = r.u32();
+  m.server_nonce = r.byte_string();
+  return m;
+}
+
+void CloseSecureChannelRequest::encode(UaWriter& w) const { header.encode(w); }
+
+CloseSecureChannelRequest CloseSecureChannelRequest::decode(UaReader& r) {
+  CloseSecureChannelRequest m;
+  m.header = RequestHeader::decode(r);
+  return m;
+}
+
+void GetEndpointsRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.string(endpoint_url);
+  w.i32(-1);  // localeIds
+  w.i32(-1);  // profileUris
+}
+
+GetEndpointsRequest GetEndpointsRequest::decode(UaReader& r) {
+  GetEndpointsRequest m;
+  m.header = RequestHeader::decode(r);
+  m.endpoint_url = r.string();
+  r.string_array();
+  r.string_array();
+  return m;
+}
+
+void GetEndpointsResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(endpoints, [](UaWriter& ww, const EndpointDescription& e) { e.encode(ww); });
+}
+
+GetEndpointsResponse GetEndpointsResponse::decode(UaReader& r) {
+  GetEndpointsResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.endpoints =
+      r.array<EndpointDescription>([](UaReader& rr) { return EndpointDescription::decode(rr); });
+  return m;
+}
+
+void FindServersRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.string(endpoint_url);
+  w.i32(-1);
+  w.i32(-1);
+}
+
+FindServersRequest FindServersRequest::decode(UaReader& r) {
+  FindServersRequest m;
+  m.header = RequestHeader::decode(r);
+  m.endpoint_url = r.string();
+  r.string_array();
+  r.string_array();
+  return m;
+}
+
+void FindServersResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(servers, [](UaWriter& ww, const ApplicationDescription& a) { a.encode(ww); });
+}
+
+FindServersResponse FindServersResponse::decode(UaReader& r) {
+  FindServersResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.servers = r.array<ApplicationDescription>(
+      [](UaReader& rr) { return ApplicationDescription::decode(rr); });
+  return m;
+}
+
+void CreateSessionRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  client_description.encode(w);
+  w.null_string();  // serverUri
+  w.string(endpoint_url);
+  w.string(session_name);
+  w.byte_string(client_nonce);
+  if (client_certificate.empty()) {
+    w.null_byte_string();
+  } else {
+    w.byte_string(client_certificate);
+  }
+  w.f64(requested_session_timeout_ms);
+  w.u32(0);  // maxResponseMessageSize
+}
+
+CreateSessionRequest CreateSessionRequest::decode(UaReader& r) {
+  CreateSessionRequest m;
+  m.header = RequestHeader::decode(r);
+  m.client_description = ApplicationDescription::decode(r);
+  r.string();
+  m.endpoint_url = r.string();
+  m.session_name = r.string();
+  m.client_nonce = r.byte_string();
+  m.client_certificate = r.byte_string();
+  m.requested_session_timeout_ms = r.f64();
+  r.u32();
+  return m;
+}
+
+void CreateSessionResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.node_id(session_id);
+  w.node_id(authentication_token);
+  w.f64(revised_session_timeout_ms);
+  w.byte_string(server_nonce);
+  if (server_certificate.empty()) {
+    w.null_byte_string();
+  } else {
+    w.byte_string(server_certificate);
+  }
+  w.array(server_endpoints, [](UaWriter& ww, const EndpointDescription& e) { e.encode(ww); });
+  w.i32(-1);  // serverSoftwareCertificates
+  server_signature.encode(w);
+  w.u32(0);  // maxRequestMessageSize
+}
+
+CreateSessionResponse CreateSessionResponse::decode(UaReader& r) {
+  CreateSessionResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.session_id = r.node_id();
+  m.authentication_token = r.node_id();
+  m.revised_session_timeout_ms = r.f64();
+  m.server_nonce = r.byte_string();
+  m.server_certificate = r.byte_string();
+  m.server_endpoints =
+      r.array<EndpointDescription>([](UaReader& rr) { return EndpointDescription::decode(rr); });
+  const std::int32_t n_sw = r.i32();
+  for (std::int32_t i = 0; i < n_sw; ++i) throw DecodeError("software certificates unsupported");
+  m.server_signature = SignatureData::decode(r);
+  r.u32();
+  return m;
+}
+
+void ActivateSessionRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  client_signature.encode(w);
+  w.i32(-1);  // clientSoftwareCertificates
+  w.i32(-1);  // localeIds
+  user_identity_token.encode(w);
+  SignatureData{}.encode(w);  // userTokenSignature
+}
+
+ActivateSessionRequest ActivateSessionRequest::decode(UaReader& r) {
+  ActivateSessionRequest m;
+  m.header = RequestHeader::decode(r);
+  m.client_signature = SignatureData::decode(r);
+  const std::int32_t n_sw = r.i32();
+  for (std::int32_t i = 0; i < n_sw; ++i) throw DecodeError("software certificates unsupported");
+  r.string_array();
+  m.user_identity_token = UserIdentityToken::decode(r);
+  SignatureData::decode(r);
+  return m;
+}
+
+void ActivateSessionResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.byte_string(server_nonce);
+  w.i32(-1);  // results
+  w.i32(-1);  // diagnosticInfos
+}
+
+ActivateSessionResponse ActivateSessionResponse::decode(UaReader& r) {
+  ActivateSessionResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.server_nonce = r.byte_string();
+  r.i32();
+  r.i32();
+  return m;
+}
+
+void CloseSessionRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.boolean(delete_subscriptions);
+}
+
+CloseSessionRequest CloseSessionRequest::decode(UaReader& r) {
+  CloseSessionRequest m;
+  m.header = RequestHeader::decode(r);
+  m.delete_subscriptions = r.boolean();
+  return m;
+}
+
+void CloseSessionResponse::encode(UaWriter& w) const { header.encode(w); }
+
+CloseSessionResponse CloseSessionResponse::decode(UaReader& r) {
+  CloseSessionResponse m;
+  m.header = ResponseHeader::decode(r);
+  return m;
+}
+
+void BrowseDescription::encode(UaWriter& w) const {
+  w.node_id(node_id);
+  w.u32(static_cast<std::uint32_t>(direction));
+  w.node_id(reference_type_id);
+  w.boolean(include_subtypes);
+  w.u32(node_class_mask);
+  w.u32(result_mask);
+}
+
+BrowseDescription BrowseDescription::decode(UaReader& r) {
+  BrowseDescription b;
+  b.node_id = r.node_id();
+  b.direction = static_cast<BrowseDirection>(r.u32());
+  b.reference_type_id = r.node_id();
+  b.include_subtypes = r.boolean();
+  b.node_class_mask = r.u32();
+  b.result_mask = r.u32();
+  return b;
+}
+
+void ReferenceDescription::encode(UaWriter& w) const {
+  w.node_id(reference_type_id);
+  w.boolean(is_forward);
+  w.expanded_node_id(node_id);
+  w.qualified_name(browse_name);
+  w.localized_text(display_name);
+  w.u32(static_cast<std::uint32_t>(node_class));
+  w.expanded_node_id(type_definition);
+}
+
+ReferenceDescription ReferenceDescription::decode(UaReader& r) {
+  ReferenceDescription d;
+  d.reference_type_id = r.node_id();
+  d.is_forward = r.boolean();
+  d.node_id = r.expanded_node_id();
+  d.browse_name = r.qualified_name();
+  d.display_name = r.localized_text();
+  d.node_class = static_cast<NodeClass>(r.u32());
+  d.type_definition = r.expanded_node_id();
+  return d;
+}
+
+void BrowseResult::encode(UaWriter& w) const {
+  w.status(status);
+  if (continuation_point.empty()) {
+    w.null_byte_string();
+  } else {
+    w.byte_string(continuation_point);
+  }
+  w.array(references, [](UaWriter& ww, const ReferenceDescription& d) { d.encode(ww); });
+}
+
+BrowseResult BrowseResult::decode(UaReader& r) {
+  BrowseResult b;
+  b.status = r.status();
+  b.continuation_point = r.byte_string();
+  b.references = r.array<ReferenceDescription>(
+      [](UaReader& rr) { return ReferenceDescription::decode(rr); });
+  return b;
+}
+
+void BrowseRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  // ViewDescription: null view id + timestamp + version
+  w.node_id(NodeId(0, 0));
+  w.datetime(0);
+  w.u32(0);
+  w.u32(requested_max_references_per_node);
+  w.array(nodes_to_browse, [](UaWriter& ww, const BrowseDescription& b) { b.encode(ww); });
+}
+
+BrowseRequest BrowseRequest::decode(UaReader& r) {
+  BrowseRequest m;
+  m.header = RequestHeader::decode(r);
+  r.node_id();
+  r.datetime();
+  r.u32();
+  m.requested_max_references_per_node = r.u32();
+  m.nodes_to_browse =
+      r.array<BrowseDescription>([](UaReader& rr) { return BrowseDescription::decode(rr); });
+  return m;
+}
+
+void BrowseResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(results, [](UaWriter& ww, const BrowseResult& b) { b.encode(ww); });
+  w.i32(-1);  // diagnosticInfos
+}
+
+BrowseResponse BrowseResponse::decode(UaReader& r) {
+  BrowseResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.results = r.array<BrowseResult>([](UaReader& rr) { return BrowseResult::decode(rr); });
+  r.i32();
+  return m;
+}
+
+void BrowseNextRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.boolean(release_continuation_points);
+  w.array(continuation_points, [](UaWriter& ww, const Bytes& b) { ww.byte_string(b); });
+}
+
+BrowseNextRequest BrowseNextRequest::decode(UaReader& r) {
+  BrowseNextRequest m;
+  m.header = RequestHeader::decode(r);
+  m.release_continuation_points = r.boolean();
+  m.continuation_points = r.array<Bytes>([](UaReader& rr) { return rr.byte_string(); });
+  return m;
+}
+
+void BrowseNextResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(results, [](UaWriter& ww, const BrowseResult& b) { b.encode(ww); });
+  w.i32(-1);
+}
+
+BrowseNextResponse BrowseNextResponse::decode(UaReader& r) {
+  BrowseNextResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.results = r.array<BrowseResult>([](UaReader& rr) { return BrowseResult::decode(rr); });
+  r.i32();
+  return m;
+}
+
+void ReadValueId::encode(UaWriter& w) const {
+  w.node_id(node_id);
+  w.u32(static_cast<std::uint32_t>(attribute_id));
+  w.null_string();  // indexRange
+  w.qualified_name(QualifiedName{});  // dataEncoding
+}
+
+ReadValueId ReadValueId::decode(UaReader& r) {
+  ReadValueId v;
+  v.node_id = r.node_id();
+  v.attribute_id = static_cast<AttributeId>(r.u32());
+  r.string();
+  r.qualified_name();
+  return v;
+}
+
+void ReadRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.f64(max_age);
+  w.u32(timestamps_to_return);
+  w.array(nodes_to_read, [](UaWriter& ww, const ReadValueId& v) { v.encode(ww); });
+}
+
+ReadRequest ReadRequest::decode(UaReader& r) {
+  ReadRequest m;
+  m.header = RequestHeader::decode(r);
+  m.max_age = r.f64();
+  m.timestamps_to_return = r.u32();
+  m.nodes_to_read = r.array<ReadValueId>([](UaReader& rr) { return ReadValueId::decode(rr); });
+  return m;
+}
+
+void ReadResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(results, [](UaWriter& ww, const DataValue& v) { ww.data_value(v); });
+  w.i32(-1);
+}
+
+ReadResponse ReadResponse::decode(UaReader& r) {
+  ReadResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.results = r.array<DataValue>([](UaReader& rr) { return rr.data_value(); });
+  r.i32();
+  return m;
+}
+
+void WriteValue::encode(UaWriter& w) const {
+  w.node_id(node_id);
+  w.u32(static_cast<std::uint32_t>(attribute_id));
+  w.null_string();  // indexRange
+  w.data_value(value);
+}
+
+WriteValue WriteValue::decode(UaReader& r) {
+  WriteValue v;
+  v.node_id = r.node_id();
+  v.attribute_id = static_cast<AttributeId>(r.u32());
+  r.string();
+  v.value = r.data_value();
+  return v;
+}
+
+void WriteRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(nodes_to_write, [](UaWriter& ww, const WriteValue& v) { v.encode(ww); });
+}
+
+WriteRequest WriteRequest::decode(UaReader& r) {
+  WriteRequest m;
+  m.header = RequestHeader::decode(r);
+  m.nodes_to_write = r.array<WriteValue>([](UaReader& rr) { return WriteValue::decode(rr); });
+  return m;
+}
+
+void WriteResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(results, [](UaWriter& ww, const StatusCode& s) { ww.status(s); });
+  w.i32(-1);  // diagnosticInfos
+}
+
+WriteResponse WriteResponse::decode(UaReader& r) {
+  WriteResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.results = r.array<StatusCode>([](UaReader& rr) { return rr.status(); });
+  r.i32();
+  return m;
+}
+
+void CallMethodRequest::encode(UaWriter& w) const {
+  w.node_id(object_id);
+  w.node_id(method_id);
+  w.array(input_arguments, [](UaWriter& ww, const Variant& v) { ww.variant(v); });
+}
+
+CallMethodRequest CallMethodRequest::decode(UaReader& r) {
+  CallMethodRequest m;
+  m.object_id = r.node_id();
+  m.method_id = r.node_id();
+  m.input_arguments = r.array<Variant>([](UaReader& rr) { return rr.variant(); });
+  return m;
+}
+
+void CallMethodResult::encode(UaWriter& w) const {
+  w.status(status);
+  w.i32(-1);  // inputArgumentResults
+  w.i32(-1);  // inputArgumentDiagnosticInfos
+  w.array(output_arguments, [](UaWriter& ww, const Variant& v) { ww.variant(v); });
+}
+
+CallMethodResult CallMethodResult::decode(UaReader& r) {
+  CallMethodResult m;
+  m.status = r.status();
+  r.i32();
+  r.i32();
+  m.output_arguments = r.array<Variant>([](UaReader& rr) { return rr.variant(); });
+  return m;
+}
+
+void CallRequest::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(methods_to_call, [](UaWriter& ww, const CallMethodRequest& m) { m.encode(ww); });
+}
+
+CallRequest CallRequest::decode(UaReader& r) {
+  CallRequest m;
+  m.header = RequestHeader::decode(r);
+  m.methods_to_call =
+      r.array<CallMethodRequest>([](UaReader& rr) { return CallMethodRequest::decode(rr); });
+  return m;
+}
+
+void CallResponse::encode(UaWriter& w) const {
+  header.encode(w);
+  w.array(results, [](UaWriter& ww, const CallMethodResult& m) { m.encode(ww); });
+  w.i32(-1);
+}
+
+CallResponse CallResponse::decode(UaReader& r) {
+  CallResponse m;
+  m.header = ResponseHeader::decode(r);
+  m.results =
+      r.array<CallMethodResult>([](UaReader& rr) { return CallMethodResult::decode(rr); });
+  r.i32();
+  return m;
+}
+
+void ServiceFault::encode(UaWriter& w) const { header.encode(w); }
+
+ServiceFault ServiceFault::decode(UaReader& r) {
+  ServiceFault m;
+  m.header = ResponseHeader::decode(r);
+  return m;
+}
+
+std::uint32_t peek_type_id(std::span<const std::uint8_t> packed) {
+  UaReader r(packed);
+  const NodeId id = r.node_id();
+  if (!id.is_numeric()) throw DecodeError("non-numeric service type id");
+  return id.numeric();
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,48 @@
+#include "opcua/status.hpp"
+
+namespace opcua_study {
+
+std::string status_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::Good: return "Good";
+    case StatusCode::BadUnexpectedError: return "BadUnexpectedError";
+    case StatusCode::BadInternalError: return "BadInternalError";
+    case StatusCode::BadTimeout: return "BadTimeout";
+    case StatusCode::BadServiceUnsupported: return "BadServiceUnsupported";
+    case StatusCode::BadCommunicationError: return "BadCommunicationError";
+    case StatusCode::BadEncodingError: return "BadEncodingError";
+    case StatusCode::BadDecodingError: return "BadDecodingError";
+    case StatusCode::BadEncodingLimitsExceeded: return "BadEncodingLimitsExceeded";
+    case StatusCode::BadRequestTooLarge: return "BadRequestTooLarge";
+    case StatusCode::BadConnectionRejected: return "BadConnectionRejected";
+    case StatusCode::BadSecureChannelIdInvalid: return "BadSecureChannelIdInvalid";
+    case StatusCode::BadSecurityChecksFailed: return "BadSecurityChecksFailed";
+    case StatusCode::BadCertificateInvalid: return "BadCertificateInvalid";
+    case StatusCode::BadCertificateUntrusted: return "BadCertificateUntrusted";
+    case StatusCode::BadCertificateUriInvalid: return "BadCertificateUriInvalid";
+    case StatusCode::BadSecurityModeRejected: return "BadSecurityModeRejected";
+    case StatusCode::BadSecurityPolicyRejected: return "BadSecurityPolicyRejected";
+    case StatusCode::BadIdentityTokenInvalid: return "BadIdentityTokenInvalid";
+    case StatusCode::BadIdentityTokenRejected: return "BadIdentityTokenRejected";
+    case StatusCode::BadUserAccessDenied: return "BadUserAccessDenied";
+    case StatusCode::BadSessionIdInvalid: return "BadSessionIdInvalid";
+    case StatusCode::BadSessionClosed: return "BadSessionClosed";
+    case StatusCode::BadSessionNotActivated: return "BadSessionNotActivated";
+    case StatusCode::BadTooManySessions: return "BadTooManySessions";
+    case StatusCode::BadNodeIdUnknown: return "BadNodeIdUnknown";
+    case StatusCode::BadAttributeIdInvalid: return "BadAttributeIdInvalid";
+    case StatusCode::BadNotReadable: return "BadNotReadable";
+    case StatusCode::BadNotWritable: return "BadNotWritable";
+    case StatusCode::BadNotExecutable: return "BadNotExecutable";
+    case StatusCode::BadContinuationPointInvalid: return "BadContinuationPointInvalid";
+    case StatusCode::BadNothingToDo: return "BadNothingToDo";
+    case StatusCode::BadTcpMessageTypeInvalid: return "BadTcpMessageTypeInvalid";
+    case StatusCode::BadTcpEndpointUrlInvalid: return "BadTcpEndpointUrlInvalid";
+    case StatusCode::BadRequestInterrupted: return "BadRequestInterrupted";
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%08X", static_cast<std::uint32_t>(code));
+  return buf;
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,88 @@
+#include "opcua/transport.hpp"
+
+#include "opcua/encoding.hpp"
+
+namespace opcua_study {
+
+Bytes HelloMessage::encode() const {
+  UaWriter w;
+  w.u32(protocol_version);
+  w.u32(receive_buffer_size);
+  w.u32(send_buffer_size);
+  w.u32(max_message_size);
+  w.u32(max_chunk_count);
+  w.string(endpoint_url);
+  return w.take();
+}
+
+HelloMessage HelloMessage::decode(std::span<const std::uint8_t> body) {
+  UaReader r(body);
+  HelloMessage m;
+  m.protocol_version = r.u32();
+  m.receive_buffer_size = r.u32();
+  m.send_buffer_size = r.u32();
+  m.max_message_size = r.u32();
+  m.max_chunk_count = r.u32();
+  m.endpoint_url = r.string();
+  return m;
+}
+
+Bytes AcknowledgeMessage::encode() const {
+  UaWriter w;
+  w.u32(protocol_version);
+  w.u32(receive_buffer_size);
+  w.u32(send_buffer_size);
+  w.u32(max_message_size);
+  w.u32(max_chunk_count);
+  return w.take();
+}
+
+AcknowledgeMessage AcknowledgeMessage::decode(std::span<const std::uint8_t> body) {
+  UaReader r(body);
+  AcknowledgeMessage m;
+  m.protocol_version = r.u32();
+  m.receive_buffer_size = r.u32();
+  m.send_buffer_size = r.u32();
+  m.max_message_size = r.u32();
+  m.max_chunk_count = r.u32();
+  return m;
+}
+
+Bytes ErrorMessage::encode() const {
+  UaWriter w;
+  w.u32(static_cast<std::uint32_t>(error));
+  w.string(reason);
+  return w.take();
+}
+
+ErrorMessage ErrorMessage::decode(std::span<const std::uint8_t> body) {
+  UaReader r(body);
+  ErrorMessage m;
+  m.error = static_cast<StatusCode>(r.u32());
+  m.reason = r.string();
+  return m;
+}
+
+Bytes frame_message(std::string_view type, std::span<const std::uint8_t> body) {
+  if (type.size() != 3) throw std::invalid_argument("frame type must be 3 chars");
+  ByteWriter w;
+  w.raw(type);
+  w.u8('F');
+  w.u32(static_cast<std::uint32_t>(8 + body.size()));
+  w.raw(body);
+  return w.take();
+}
+
+Frame parse_frame(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 8) throw DecodeError("frame too short");
+  Frame f;
+  f.type.assign(wire.begin(), wire.begin() + 3);
+  f.chunk = wire[3];
+  ByteReader r(wire.subspan(4, 4));
+  const std::uint32_t size = r.u32();
+  if (size != wire.size()) throw DecodeError("frame size mismatch");
+  f.body.assign(wire.begin() + 8, wire.end());
+  return f;
+}
+
+}  // namespace opcua_study

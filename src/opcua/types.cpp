@@ -1,0 +1,39 @@
+#include "opcua/types.hpp"
+
+namespace opcua_study {
+
+std::string NodeId::to_string() const {
+  std::string out = "ns=" + std::to_string(namespace_index) + ";";
+  if (is_numeric()) {
+    out += "i=" + std::to_string(numeric());
+  } else {
+    out += "s=" + text();
+  }
+  return out;
+}
+
+std::string Variant::to_display_string() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "(null)"; }
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(std::int32_t v) const { return std::to_string(v); }
+    std::string operator()(std::uint32_t v) const { return std::to_string(v); }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const { return v; }
+    std::string operator()(const Bytes& v) const {
+      return "bytes[" + std::to_string(v.size()) + "]";
+    }
+    std::string operator()(const std::vector<std::string>& v) const {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i) out += ", ";
+        out += v[i];
+      }
+      return out + "]";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+}  // namespace opcua_study

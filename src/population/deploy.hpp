@@ -1,0 +1,66 @@
+// Deployer: instantiate a PopulationPlan as real OPC UA servers on the
+// simulated Internet for a given measurement week.
+//
+// Everything the scanner later measures is realized here physically:
+// real X.509 certificates (shared private keys for reuse groups, weekly
+// regeneration for ephemerals, renewal events), endpoint lists per
+// (mode × policy), identity-token offerings, trust behaviour, address
+// spaces with per-node anonymous access rights, discovery servers with
+// foreign endpoint references, and the non-OPC-UA port-4840 background
+// population.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "crypto/keycache.hpp"
+#include "netsim/network.hpp"
+#include "opcua/server.hpp"
+#include "population/plan.hpp"
+
+namespace opcua_study {
+
+struct DeployConfig {
+  std::uint64_t seed = 1;
+  /// Non-OPC-UA services with an open port 4840 (the paper: only 0.5 ‰ of
+  /// such hosts speak OPC UA; scaled down for simulation size).
+  int dummy_hosts = 20000;
+  /// Tests: clamp RSA keys to 512 bits (plans keep their nominal size,
+  /// certificate *classification* then differs — only use in protocol
+  /// tests, never in calibration benches).
+  bool fast_keys = false;
+  std::string key_cache_path = KeyFactory::default_cache_path();
+};
+
+class Deployer {
+ public:
+  Deployer(const PopulationPlan& plan, DeployConfig config);
+
+  /// Register every host present in `week` (plus dummies) on `net`.
+  void deploy_week(Network& net, int week);
+
+  Ipv4 ip_of(const HostPlan& host, int week) const;
+  /// The scan exclusion list (paper §A.2: 5.79 M opted-out addresses).
+  std::vector<Cidr> exclusion_list() const;
+
+  std::size_t keys_generated() const { return keys_.generated(); }
+
+ private:
+  Bytes certificate_for(const HostPlan& host, int week, bool dual);
+  const RsaKeyPair& keypair_for(const HostPlan& host, bool dual);
+  ServerConfig server_config(const HostPlan& host, int week);
+  std::shared_ptr<AddressSpace> address_space_for(const HostPlan& host);
+
+  const PopulationPlan& plan_;
+  DeployConfig config_;
+  KeyFactory keys_;
+  std::map<std::string, RsaKeyPair> key_memo_;
+  std::map<std::pair<int, std::pair<int, bool>>, Bytes> cert_memo_;  // (host,(week,dual))
+};
+
+/// AS numbering used by the population (§B.1.2 narrative).
+inline constexpr std::uint32_t kIiotAsn = 64500;       // the "(I)IoT ISP"
+inline constexpr std::uint32_t kRegionalAsn1 = 64501;  // regional ISPs with
+inline constexpr std::uint32_t kRegionalAsn2 = 64502;  // deprecated+anon hosts
+
+}  // namespace opcua_study

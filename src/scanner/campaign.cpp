@@ -1,0 +1,82 @@
+#include "scanner/campaign.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/date.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+
+Campaign::Campaign(CampaignConfig config, Network& network)
+    : config_(std::move(config)), network_(network) {}
+
+bool Campaign::excluded(Ipv4 ip) const {
+  return std::any_of(config_.exclusions.begin(), config_.exclusions.end(),
+                     [ip](const Cidr& c) { return c.contains(ip); });
+}
+
+ScanSnapshot Campaign::run(int measurement_index) {
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = measurement_index;
+  snapshot.date_days = measurement_days(measurement_index);
+  network_.clock().reset(snapshot.date_days);
+
+  // Phase 1: port sweep.
+  std::vector<Ipv4> open_hosts;
+  if (config_.oracle_sweep) {
+    auto endpoints = network_.bound_endpoints();
+    // Randomized order, like zmap's permutation.
+    Rng order(config_.seed ^ static_cast<std::uint64_t>(measurement_index));
+    std::vector<Ipv4> candidates;
+    for (const auto& [ip, port] : endpoints) {
+      if (port == config_.port) candidates.push_back(ip);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    order.shuffle(candidates);
+    for (Ipv4 ip : candidates) {
+      if (excluded(ip)) continue;
+      ++snapshot.probes_sent;
+      if (network_.syn_probe(ip, config_.port)) open_hosts.push_back(ip);
+    }
+  } else {
+    AddressSweep sweep(config_.universe, config_.seed + static_cast<std::uint64_t>(measurement_index));
+    while (auto ip = sweep.next()) {
+      if (excluded(*ip)) continue;
+      ++snapshot.probes_sent;
+      if (network_.syn_probe(*ip, config_.port)) open_hosts.push_back(*ip);
+    }
+  }
+  snapshot.tcp_open_count = open_hosts.size();
+
+  // Phase 2: application-layer grab of every open host.
+  Grabber grabber(config_.grabber, network_,
+                  config_.seed * 1000003 + static_cast<std::uint64_t>(measurement_index));
+  std::set<std::pair<Ipv4, std::uint16_t>> scanned;
+  std::vector<std::pair<Ipv4, std::uint16_t>> referenced;
+  for (Ipv4 ip : open_hosts) {
+    HostScanRecord record = grabber.grab(ip, config_.port);
+    scanned.insert({ip, config_.port});
+    for (const auto& target : record.referenced_targets) referenced.push_back(target);
+    if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));
+  }
+
+  // Phase 3: follow references to other host/port combinations
+  // (the paper enabled this as of 2020-05-04 = measurement index 3).
+  const bool follow = config_.follow_references && measurement_index >= 3;
+  if (follow) {
+    std::sort(referenced.begin(), referenced.end());
+    referenced.erase(std::unique(referenced.begin(), referenced.end()), referenced.end());
+    for (const auto& [ip, port] : referenced) {
+      if (excluded(ip) || scanned.contains({ip, port})) continue;
+      scanned.insert({ip, port});
+      HostScanRecord record = grabber.grab(ip, port);
+      record.found_via_reference = true;
+      if (record.tcp_open) ++snapshot.tcp_open_count;
+      if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,42 @@
+// A weekly measurement: sweep → grab → follow references.
+#pragma once
+
+#include "scanner/grabber.hpp"
+#include "scanner/lfsr.hpp"
+#include "scanner/record.hpp"
+
+namespace opcua_study {
+
+struct CampaignConfig {
+  /// Universe for the LFSR sweep (tests use /16 slices; the full study
+  /// uses the oracle sweep, see DESIGN.md).
+  Cidr universe = {0, 0};
+  /// true: enumerate bound sockets from the simulator instead of walking
+  /// the whole universe — outcome-equivalent to the LFSR sweep and O(hosts).
+  bool oracle_sweep = true;
+  std::uint16_t port = kOpcUaDefaultPort;
+  /// Opt-out prefixes (the paper excludes 5.79 M addresses, §A.2).
+  std::vector<Cidr> exclusions;
+  /// Follow endpoint references to other host/port combinations — the paper
+  /// enabled this with the 2020-05-04 measurement.
+  bool follow_references = true;
+  GrabberConfig grabber;
+  std::uint64_t seed = 1;
+};
+
+class Campaign {
+ public:
+  Campaign(CampaignConfig config, Network& network);
+
+  /// Run one measurement; `measurement_index` selects the week (0..7) and
+  /// controls reference-following per the paper's calendar.
+  ScanSnapshot run(int measurement_index);
+
+  bool excluded(Ipv4 ip) const;
+
+ private:
+  CampaignConfig config_;
+  Network& network_;
+};
+
+}  // namespace opcua_study

@@ -1,0 +1,89 @@
+#include "scanner/dataset.hpp"
+
+#include <sstream>
+
+#include "crypto/x509.hpp"
+#include "util/hex.hpp"
+
+namespace opcua_study {
+
+std::uint32_t Anonymizer::ip_id(Ipv4 ip) {
+  const auto [it, inserted] = ip_ids_.try_emplace(ip, static_cast<std::uint32_t>(ip_ids_.size() + 1));
+  (void)inserted;
+  return it->second;
+}
+
+std::uint32_t Anonymizer::as_id(std::uint32_t asn) {
+  const auto [it, inserted] = as_ids_.try_emplace(asn, static_cast<std::uint32_t>(as_ids_.size() + 1));
+  (void)inserted;
+  return it->second;
+}
+
+std::string to_release_json(HostScanRecord record, Anonymizer& anonymizer) {
+  std::ostringstream out;
+  out << "{\"host\":" << anonymizer.ip_id(record.ip) << ",\"as\":" << anonymizer.as_id(record.asn)
+      << ",\"discovery\":" << (record.is_discovery_server() ? "true" : "false")
+      << ",\"via_reference\":" << (record.found_via_reference ? "true" : "false");
+  // ApplicationURIs often embed hostnames/serials; the release keeps only a
+  // manufacturer-cluster hint, the rest is blackened.
+  out << ",\"application_uri\":\"[blackened]\"";
+  out << ",\"endpoints\":[";
+  for (std::size_t i = 0; i < record.endpoints.size(); ++i) {
+    const auto& ep = record.endpoints[i];
+    if (i) out << ',';
+    out << "{\"mode\":\"" << security_mode_name(ep.mode) << "\",\"policy\":\""
+        << (ep.policy_known ? std::string(policy_info(ep.policy).short_name) : "?") << "\",\"tokens\":[";
+    for (std::size_t t = 0; t < ep.token_types.size(); ++t) {
+      if (t) out << ',';
+      out << '"' << user_token_type_name(ep.token_types[t]) << '"';
+    }
+    out << ']';
+    if (!ep.certificate_der.empty()) {
+      try {
+        const Certificate cert = x509_parse(ep.certificate_der);
+        out << ",\"cert\":{\"sig\":\"" << hash_name(cert.signature_hash)
+            << "\",\"key_bits\":" << cert.key_bits() << ",\"fingerprint\":\""
+            << to_hex(x509_thumbprint(ep.certificate_der)).substr(0, 16)
+            << "\",\"not_before_days\":" << cert.not_before_days
+            << ",\"subject\":\"[blackened]\",\"san\":\"[blackened]\"}";
+      } catch (const DecodeError&) {
+        out << ",\"cert\":{\"error\":\"unparseable\"}";
+      }
+    }
+    out << '}';
+  }
+  out << "],\"channel\":";
+  switch (record.channel) {
+    case ChannelOutcome::not_attempted: out << "\"not_attempted\""; break;
+    case ChannelOutcome::established: out << "\"established\""; break;
+    case ChannelOutcome::cert_rejected: out << "\"cert_rejected\""; break;
+    case ChannelOutcome::failed: out << "\"failed\""; break;
+  }
+  out << ",\"session\":";
+  switch (record.session) {
+    case SessionOutcome::not_attempted: out << "\"not_attempted\""; break;
+    case SessionOutcome::accessible: out << "\"accessible\""; break;
+    case SessionOutcome::auth_rejected: out << "\"auth_rejected\""; break;
+    case SessionOutcome::channel_rejected: out << "\"channel_rejected\""; break;
+  }
+  // Namespace URIs may identify operators: release only their count and the
+  // classification inputs were consumed upstream. Node payload data is
+  // excluded entirely (paper §A.1).
+  out << ",\"namespace_count\":" << record.namespaces.size();
+  out << ",\"nodes\":{\"total\":" << record.nodes.size() << "}";
+  out << ",\"bytes_sent\":" << record.bytes_sent;
+  out << ",\"duration_s\":" << record.duration_seconds;
+  out << '}';
+  return out.str();
+}
+
+std::string to_release_jsonl(const ScanSnapshot& snapshot, Anonymizer& anonymizer) {
+  std::string out;
+  for (const auto& host : snapshot.hosts) {
+    out += to_release_json(host, anonymizer);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace opcua_study

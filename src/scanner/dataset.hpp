@@ -1,0 +1,37 @@
+// Dataset release: anonymization per the paper's §A.1.
+//
+// "we replace IP addresses and autonomous system IDs by consecutive
+//  numbers as well as blacken fields in certificates containing equivalent
+//  address information" — and payload data (node values) is excluded
+// entirely, so address-space contents never leave the scanner.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "scanner/record.hpp"
+
+namespace opcua_study {
+
+/// Stable consecutive-id assignment across snapshots (the released dataset
+/// spans all eight measurements).
+class Anonymizer {
+ public:
+  std::uint32_t ip_id(Ipv4 ip);
+  std::uint32_t as_id(std::uint32_t asn);
+  std::size_t distinct_ips() const { return ip_ids_.size(); }
+
+ private:
+  std::map<Ipv4, std::uint32_t> ip_ids_;
+  std::map<std::uint32_t, std::uint32_t> as_ids_;
+};
+
+/// One host record as a JSON line. Certificates are reduced to
+/// non-identifying metadata (signature hash, key length, SHA-1 fingerprint
+/// for reuse clustering, NotBefore); subjects/SANs are blackened.
+std::string to_release_json(HostScanRecord record, Anonymizer& anonymizer);
+
+/// Whole snapshot as JSONL.
+std::string to_release_jsonl(const ScanSnapshot& snapshot, Anonymizer& anonymizer);
+
+}  // namespace opcua_study

@@ -1,0 +1,52 @@
+// Application-layer grab of one host — the zgrab2 OPC UA module analogue.
+//
+// Pipeline per host (paper §4):
+//  1. connect + HEL; anything that does not speak UA-TCP is dropped
+//     (only 0.5 ‰ of open port-4840 hosts run OPC UA),
+//  2. OPN(None) + GetEndpoints → endpoint descriptions + certificates,
+//  3. if Sign/SignAndEncrypt is advertised, re-connect and open a secure
+//     channel presenting the scanner's self-signed certificate,
+//  4. if anonymous access is advertised, create + activate a session,
+//  5. traverse the address space (Browse + Read of access levels), pacing
+//     500 ms between requests, capped at 60 min / 50 MB per host (§A.2).
+#pragma once
+
+#include "netsim/network.hpp"
+#include "opcua/client.hpp"
+#include "scanner/record.hpp"
+
+namespace opcua_study {
+
+struct EthicsBudget {
+  std::uint64_t inter_request_ms = 500;   // pause between requests to one host
+  std::uint64_t max_host_seconds = 3600;  // 60 min limit
+  std::uint64_t max_host_bytes = 50 * 1000 * 1000;  // 50 MB outgoing limit
+};
+
+struct GrabberConfig {
+  ClientConfig client;
+  EthicsBudget budget;
+  bool traverse_address_space = true;
+  std::uint32_t browse_chunk = 64;  // max references per Browse answer
+};
+
+class Grabber {
+ public:
+  Grabber(GrabberConfig config, Network& network, std::uint64_t seed);
+
+  /// Scan a single (ip, port); returns a fully populated record.
+  HostScanRecord grab(Ipv4 ip, std::uint16_t port);
+
+ private:
+  struct Paced;
+  void assess_channel_and_session(HostScanRecord& record);
+  void traverse(HostScanRecord& record, Client& client, NetConnection& conn,
+                std::uint64_t started_us);
+
+  GrabberConfig config_;
+  Network& network_;
+  std::uint64_t seed_;
+  std::uint64_t grab_counter_ = 0;
+};
+
+}  // namespace opcua_study

@@ -1,0 +1,110 @@
+// Scan dataset records — the rows of the study's released dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opcua/messages.hpp"
+#include "opcua/secpolicy.hpp"
+#include "opcua/transport.hpp"
+#include "util/ipv4.hpp"
+
+namespace opcua_study {
+
+/// One advertised endpoint, as seen in a GetEndpoints response.
+struct EndpointObservation {
+  std::string url;
+  MessageSecurityMode mode = MessageSecurityMode::None;
+  std::string policy_uri;
+  /// Parsed from policy_uri; None if the URI was unknown.
+  SecurityPolicy policy = SecurityPolicy::None;
+  bool policy_known = false;
+  std::vector<UserTokenType> token_types;
+  Bytes certificate_der;  // empty if the endpoint carried none
+};
+
+enum class ChannelOutcome {
+  not_attempted,   // server only advertises None (no certificate exchanged)
+  established,     // secure channel up (possibly policy None)
+  cert_rejected,   // server refused the scanner's self-signed certificate
+  failed,          // other transport/crypto failure
+};
+
+enum class SessionOutcome {
+  not_attempted,    // no anonymous token advertised, or no channel
+  accessible,       // anonymous session activated; address space traversed
+  auth_rejected,    // CreateSession/ActivateSession refused
+  channel_rejected, // no session possible: secure channel was refused
+};
+
+/// One node seen during anonymous address-space traversal with the access
+/// rights the *anonymous* user holds (Fig. 7 raw data).
+struct NodeObservation {
+  std::string browse_name;
+  NodeClass node_class = NodeClass::Unspecified;
+  bool readable = false;
+  bool writable = false;
+  bool executable = false;
+};
+
+struct HostScanRecord {
+  Ipv4 ip = 0;
+  std::uint16_t port = kOpcUaDefaultPort;
+  std::uint32_t asn = 0;
+  bool tcp_open = false;
+  bool speaks_opcua = false;
+  bool found_via_reference = false;  // reached through a discovery server
+
+  // Application identity (from endpoint descriptions).
+  std::string application_uri;
+  std::string product_uri;
+  std::string application_name;
+  ApplicationType application_type = ApplicationType::Server;
+  std::string software_version;
+
+  std::vector<EndpointObservation> endpoints;
+  /// Endpoints announced for *other* hosts (discovery references).
+  std::vector<std::pair<Ipv4, std::uint16_t>> referenced_targets;
+
+  ChannelOutcome channel = ChannelOutcome::not_attempted;
+  SecurityPolicy channel_policy = SecurityPolicy::None;
+  MessageSecurityMode channel_mode = MessageSecurityMode::None;
+  bool server_signature_valid = false;
+
+  bool anonymous_offered = false;
+  SessionOutcome session = SessionOutcome::not_attempted;
+  std::vector<std::string> namespaces;
+  std::vector<NodeObservation> nodes;
+  bool traversal_truncated = false;
+
+  std::uint64_t bytes_sent = 0;
+  double duration_seconds = 0;
+
+  /// True if this host is a discovery server (announces only foreign
+  /// endpoints / reference implementation LDS).
+  bool is_discovery_server() const {
+    return application_type == ApplicationType::DiscoveryServer;
+  }
+
+  /// Security modes/policies advertised on the host's own endpoints.
+  std::vector<MessageSecurityMode> advertised_modes() const;
+  std::vector<SecurityPolicy> advertised_policies() const;
+  std::vector<UserTokenType> advertised_token_types() const;
+  /// Distinct certificates across endpoints.
+  std::vector<Bytes> distinct_certificates() const;
+};
+
+/// One weekly measurement.
+struct ScanSnapshot {
+  int measurement_index = 0;
+  std::int64_t date_days = 0;
+  std::vector<HostScanRecord> hosts;  // only hosts that speak OPC UA
+
+  std::uint64_t probes_sent = 0;       // sweep probes
+  std::uint64_t tcp_open_count = 0;    // hosts with port 4840 open
+  std::size_t server_count() const;
+  std::size_t discovery_count() const;
+};
+
+}  // namespace opcua_study

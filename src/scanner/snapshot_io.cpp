@@ -1,0 +1,169 @@
+#include "scanner/snapshot_io.hpp"
+
+#include <fstream>
+
+#include "opcua/encoding.hpp"
+
+namespace opcua_study {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f554153;  // "OUAS"
+constexpr std::uint32_t kVersion = 4;
+
+void write_host(UaWriter& w, const HostScanRecord& host) {
+  w.u32(host.ip);
+  w.u16(host.port);
+  w.u32(host.asn);
+  w.boolean(host.tcp_open);
+  w.boolean(host.speaks_opcua);
+  w.boolean(host.found_via_reference);
+  w.string(host.application_uri);
+  w.string(host.product_uri);
+  w.string(host.application_name);
+  w.u32(static_cast<std::uint32_t>(host.application_type));
+  w.string(host.software_version);
+  w.u32(static_cast<std::uint32_t>(host.endpoints.size()));
+  for (const auto& ep : host.endpoints) {
+    w.string(ep.url);
+    w.u32(static_cast<std::uint32_t>(ep.mode));
+    w.string(ep.policy_uri);
+    w.u32(static_cast<std::uint32_t>(ep.token_types.size()));
+    for (const auto t : ep.token_types) w.u32(static_cast<std::uint32_t>(t));
+    w.byte_string(ep.certificate_der);
+  }
+  w.u32(static_cast<std::uint32_t>(host.referenced_targets.size()));
+  for (const auto& [ip, port] : host.referenced_targets) {
+    w.u32(ip);
+    w.u16(port);
+  }
+  w.u32(static_cast<std::uint32_t>(host.channel));
+  w.u32(static_cast<std::uint32_t>(host.channel_policy));
+  w.u32(static_cast<std::uint32_t>(host.channel_mode));
+  w.boolean(host.server_signature_valid);
+  w.boolean(host.anonymous_offered);
+  w.u32(static_cast<std::uint32_t>(host.session));
+  w.string_array(host.namespaces);
+  w.u32(static_cast<std::uint32_t>(host.nodes.size()));
+  for (const auto& node : host.nodes) {
+    w.string(node.browse_name);
+    w.u32(static_cast<std::uint32_t>(node.node_class));
+    w.boolean(node.readable);
+    w.boolean(node.writable);
+    w.boolean(node.executable);
+  }
+  w.boolean(host.traversal_truncated);
+  w.u64(host.bytes_sent);
+  w.f64(host.duration_seconds);
+}
+
+HostScanRecord read_host(UaReader& r) {
+  HostScanRecord host;
+  host.ip = r.u32();
+  host.port = r.u16();
+  host.asn = r.u32();
+  host.tcp_open = r.boolean();
+  host.speaks_opcua = r.boolean();
+  host.found_via_reference = r.boolean();
+  host.application_uri = r.string();
+  host.product_uri = r.string();
+  host.application_name = r.string();
+  host.application_type = static_cast<ApplicationType>(r.u32());
+  host.software_version = r.string();
+  const std::uint32_t n_eps = r.u32();
+  for (std::uint32_t i = 0; i < n_eps; ++i) {
+    EndpointObservation ep;
+    ep.url = r.string();
+    ep.mode = static_cast<MessageSecurityMode>(r.u32());
+    ep.policy_uri = r.string();
+    if (const auto policy = policy_from_uri(ep.policy_uri)) {
+      ep.policy = *policy;
+      ep.policy_known = true;
+    }
+    const std::uint32_t n_tokens = r.u32();
+    for (std::uint32_t t = 0; t < n_tokens; ++t) {
+      ep.token_types.push_back(static_cast<UserTokenType>(r.u32()));
+    }
+    ep.certificate_der = r.byte_string();
+    host.endpoints.push_back(std::move(ep));
+  }
+  const std::uint32_t n_refs = r.u32();
+  for (std::uint32_t i = 0; i < n_refs; ++i) {
+    const Ipv4 ip = r.u32();
+    const std::uint16_t port = r.u16();
+    host.referenced_targets.emplace_back(ip, port);
+  }
+  host.channel = static_cast<ChannelOutcome>(r.u32());
+  host.channel_policy = static_cast<SecurityPolicy>(r.u32());
+  host.channel_mode = static_cast<MessageSecurityMode>(r.u32());
+  host.server_signature_valid = r.boolean();
+  host.anonymous_offered = r.boolean();
+  host.session = static_cast<SessionOutcome>(r.u32());
+  host.namespaces = r.string_array();
+  const std::uint32_t n_nodes = r.u32();
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    NodeObservation node;
+    node.browse_name = r.string();
+    node.node_class = static_cast<NodeClass>(r.u32());
+    node.readable = r.boolean();
+    node.writable = r.boolean();
+    node.executable = r.boolean();
+    host.nodes.push_back(std::move(node));
+  }
+  host.traversal_truncated = r.boolean();
+  host.bytes_sent = r.u64();
+  host.duration_seconds = r.f64();
+  return host;
+}
+
+}  // namespace
+
+void save_snapshots(const std::string& path, std::uint64_t seed,
+                    const std::vector<ScanSnapshot>& snapshots) {
+  UaWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(seed);
+  w.u32(static_cast<std::uint32_t>(snapshots.size()));
+  for (const auto& snapshot : snapshots) {
+    w.i32(snapshot.measurement_index);
+    w.i64(snapshot.date_days);
+    w.u64(snapshot.probes_sent);
+    w.u64(snapshot.tcp_open_count);
+    w.u32(static_cast<std::uint32_t>(snapshot.hosts.size()));
+    for (const auto& host : snapshot.hosts) write_host(w, host);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const Bytes& data = w.bytes();
+  out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+}
+
+std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
+                                                        std::uint64_t seed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    UaReader r(data);
+    if (r.u32() != kMagic || r.u32() != kVersion || r.u64() != seed) return std::nullopt;
+    const std::uint32_t count = r.u32();
+    std::vector<ScanSnapshot> snapshots;
+    snapshots.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ScanSnapshot snapshot;
+      snapshot.measurement_index = r.i32();
+      snapshot.date_days = r.i64();
+      snapshot.probes_sent = r.u64();
+      snapshot.tcp_open_count = r.u64();
+      const std::uint32_t n_hosts = r.u32();
+      for (std::uint32_t h = 0; h < n_hosts; ++h) snapshot.hosts.push_back(read_host(r));
+      snapshots.push_back(std::move(snapshot));
+    }
+    if (!r.done()) return std::nullopt;
+    return snapshots;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,25 @@
+// Binary persistence for scan snapshots.
+//
+// The bench suite regenerates every table/figure from the same campaign;
+// the first binary runs the scans and caches them, the rest load from disk
+// (exactly like the paper's analyses ran on the recorded dataset rather
+// than re-scanning per figure).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/record.hpp"
+
+namespace opcua_study {
+
+void save_snapshots(const std::string& path, std::uint64_t seed,
+                    const std::vector<ScanSnapshot>& snapshots);
+
+/// Returns nullopt when the file is missing, corrupt, or was produced with
+/// a different seed/format version.
+std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
+                                                        std::uint64_t seed);
+
+}  // namespace opcua_study

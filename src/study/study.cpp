@@ -1,0 +1,55 @@
+#include "study/study.hpp"
+
+#include "crypto/x509.hpp"
+
+namespace opcua_study {
+
+ClientConfig make_scanner_identity(std::uint64_t seed, KeyFactory& keys) {
+  ClientConfig config;
+  config.application_uri = "urn:example:research:opcua-scanner";
+  config.application_name =
+      "Internet-wide OPC UA security measurement - optout: https://scan.example.org";
+  const RsaKeyPair pair = keys.get("scanner", 2048);
+  CertificateSpec spec;
+  spec.subject = {"opcua-scanner", "Example Research Group", "DE"};
+  spec.signature_hash = HashAlgorithm::sha256;
+  spec.serial = Bignum{seed | 1};
+  spec.not_before_days = days_from_civil({2020, 1, 1});
+  spec.not_after_days = days_from_civil({2021, 1, 1});
+  spec.application_uri = config.application_uri;
+  config.certificate_der = x509_create(spec, pair.pub, pair.priv);
+  config.private_key = pair.priv;
+  return config;
+}
+
+ScanSnapshot run_measurement(const StudyConfig& config, int week) {
+  const PopulationPlan plan = build_population_plan(config.seed);
+  DeployConfig deploy_config;
+  deploy_config.seed = config.seed;
+  deploy_config.dummy_hosts = config.dummy_hosts;
+  deploy_config.key_cache_path = config.key_cache_path;
+  Deployer deployer(plan, deploy_config);
+
+  Network net;
+  deployer.deploy_week(net, week);
+
+  KeyFactory scanner_keys(config.seed, config.key_cache_path);
+  CampaignConfig campaign_config;
+  campaign_config.seed = config.seed;
+  campaign_config.exclusions = deployer.exclusion_list();
+  campaign_config.grabber.client = make_scanner_identity(config.seed, scanner_keys);
+  campaign_config.grabber.traverse_address_space = config.traverse_address_space;
+  Campaign campaign(campaign_config, net);
+  return campaign.run(week);
+}
+
+std::vector<ScanSnapshot> run_full_study(const StudyConfig& config) {
+  std::vector<ScanSnapshot> snapshots;
+  snapshots.reserve(kNumMeasurements);
+  for (int week = 0; week < kNumMeasurements; ++week) {
+    snapshots.push_back(run_measurement(config, week));
+  }
+  return snapshots;
+}
+
+}  // namespace opcua_study

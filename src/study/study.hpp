@@ -1,0 +1,29 @@
+// One-call orchestration of the full measurement study — the entry point
+// benches and examples share.
+#pragma once
+
+#include "population/deploy.hpp"
+#include "population/plan.hpp"
+#include "scanner/campaign.hpp"
+
+namespace opcua_study {
+
+struct StudyConfig {
+  std::uint64_t seed = 20200209;
+  int dummy_hosts = 20000;
+  bool traverse_address_space = true;
+  std::string key_cache_path = KeyFactory::default_cache_path();
+};
+
+/// The scanner's own identity (self-signed certificate with research
+/// contact info, as the paper's ethics setup prescribes).
+ClientConfig make_scanner_identity(std::uint64_t seed, KeyFactory& keys);
+
+/// Run one weekly measurement (rebuilds the simulated Internet for that
+/// week, sweeps, grabs, follows references).
+ScanSnapshot run_measurement(const StudyConfig& config, int week);
+
+/// Run all eight measurements of the paper's campaign.
+std::vector<ScanSnapshot> run_full_study(const StudyConfig& config);
+
+}  // namespace opcua_study

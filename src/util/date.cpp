@@ -1,0 +1,80 @@
+#include "util/date.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace opcua_study {
+
+std::int64_t days_from_civil(const CivilDate& d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  int y = d.year;
+  const unsigned m = d.month;
+  const unsigned dd = d.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return CivilDate{static_cast<int>(y + (m <= 2)), m, d};
+}
+
+std::string format_date(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+CivilDate parse_date(const std::string& s) {
+  int y = 0;
+  unsigned m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%u-%u", &y, &m, &d) != 3 || m < 1 || m > 12 || d < 1 || d > 31) {
+    throw std::invalid_argument("bad date: " + s);
+  }
+  return CivilDate{y, m, d};
+}
+
+// Days between 1601-01-01 and 1970-01-01.
+static constexpr std::int64_t kFiletimeEpochShiftDays = 134774;
+static constexpr std::int64_t kTicksPerDay = 24LL * 3600 * 10'000'000;
+
+std::int64_t filetime_from_days(std::int64_t days_since_epoch) {
+  return (days_since_epoch + kFiletimeEpochShiftDays) * kTicksPerDay;
+}
+
+std::int64_t days_from_filetime(std::int64_t filetime) {
+  return filetime / kTicksPerDay - kFiletimeEpochShiftDays;
+}
+
+static constexpr std::array<CivilDate, kNumMeasurements> kMeasurementDates = {{
+    {2020, 2, 9},
+    {2020, 3, 1},
+    {2020, 4, 5},
+    {2020, 5, 4},
+    {2020, 6, 7},
+    {2020, 7, 5},
+    {2020, 8, 2},
+    {2020, 8, 30},
+}};
+
+CivilDate measurement_date(int index) {
+  if (index < 0 || index >= kNumMeasurements) throw std::out_of_range("measurement index");
+  return kMeasurementDates[static_cast<std::size_t>(index)];
+}
+
+std::int64_t measurement_days(int index) { return days_from_civil(measurement_date(index)); }
+
+}  // namespace opcua_study

@@ -1,0 +1,41 @@
+// Civil-date arithmetic for the study calendar.
+//
+// The paper's measurements are weekly snapshots between 2020-02-09 and
+// 2020-08-30; certificate validity handling (NotBefore / NotAfter) and the
+// longitudinal analysis need exact date arithmetic. We use days-since-epoch
+// (1970-01-01) with Howard Hinnant's civil-date algorithms; no time zones
+// (the study operates at day granularity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace opcua_study {
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1..12
+  unsigned day = 1;    // 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 (can be negative).
+std::int64_t days_from_civil(const CivilDate& d);
+CivilDate civil_from_days(std::int64_t days);
+
+/// "YYYY-MM-DD"
+std::string format_date(const CivilDate& d);
+CivilDate parse_date(const std::string& s);
+
+/// 100-nanosecond intervals since 1601-01-01 (OPC UA / Windows FILETIME),
+/// the wire format of OPC UA DateTime values and X.509-adjacent timestamps.
+std::int64_t filetime_from_days(std::int64_t days_since_epoch);
+std::int64_t days_from_filetime(std::int64_t filetime);
+
+/// The eight measurement dates of the paper (2020-02-09 .. 2020-08-30).
+inline constexpr int kNumMeasurements = 8;
+CivilDate measurement_date(int index);
+std::int64_t measurement_days(int index);
+
+}  // namespace opcua_study

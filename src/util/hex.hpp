@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opcua_study {
+
+std::string to_hex(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace opcua_study

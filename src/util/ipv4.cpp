@@ -1,0 +1,38 @@
+#include "util/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace opcua_study {
+
+std::string format_ipv4(Ipv4 addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+Ipv4 parse_ipv4(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 || a > 255 || b > 255 ||
+      c > 255 || d > 255) {
+    throw std::invalid_argument("bad IPv4: " + dotted);
+  }
+  return make_ipv4(a, b, c, d);
+}
+
+Cidr parse_cidr(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return Cidr{parse_ipv4(text), 32};
+  Cidr c;
+  c.base = parse_ipv4(text.substr(0, slash));
+  c.prefix_len = std::stoi(text.substr(slash + 1));
+  if (c.prefix_len < 0 || c.prefix_len > 32) throw std::invalid_argument("bad prefix: " + text);
+  return c;
+}
+
+std::string format_cidr(const Cidr& c) {
+  return format_ipv4(c.base) + "/" + std::to_string(c.prefix_len);
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+
+namespace opcua_study {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::child(std::string_view label) const {
+  return Rng(seed_ ^ (hash64(label) * 0x9e3779b97f4a7c15ULL + 1));
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range lo>hi");
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::real() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) { return real() < p; }
+
+void Rng::fill(std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8 && i < n; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  fill(out.data(), n);
+  return out;
+}
+
+}  // namespace opcua_study

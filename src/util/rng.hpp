@@ -1,0 +1,56 @@
+// Deterministic PRNG used everywhere randomness is needed.
+//
+// Reproducibility is a hard requirement of the study pipeline: the same
+// seed must produce bit-identical populations, certificates and scan
+// results across runs and machines, so we do not use std::mt19937's
+// distribution functions (implementation-defined) nor std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace opcua_study {
+
+/// splitmix64: used for seeding and hashing seed strings.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash for deriving child seeds from labels.
+std::uint64_t hash64(std::string_view s);
+
+/// xoshiro256** — fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  /// Derive a child generator from a label. Children are independent
+  /// streams: population, certificate serials, scan jitter etc. never
+  /// interleave, keeping every subsystem reproducible in isolation.
+  Rng child(std::string_view label) const;
+
+  std::uint64_t next();
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+  /// Uniform double in [0, 1).
+  double real();
+  bool chance(double p);
+
+  void fill(std::uint8_t* out, std::size_t n);
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace opcua_study

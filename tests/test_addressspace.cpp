@@ -1,0 +1,116 @@
+// AddressSpace unit tests: ns0 skeleton, access-level semantics, attribute
+// dispatch.
+#include <gtest/gtest.h>
+
+#include "opcua/addressspace.hpp"
+
+namespace opcua_study {
+namespace {
+
+TEST(AddressSpace, Ns0SkeletonExists) {
+  AddressSpace space;
+  EXPECT_NE(space.find(node_ids::kRootFolder), nullptr);
+  EXPECT_NE(space.find(node_ids::kObjectsFolder), nullptr);
+  EXPECT_NE(space.find(node_ids::kServer), nullptr);
+  EXPECT_NE(space.find(node_ids::kNamespaceArray), nullptr);
+  EXPECT_NE(space.find(node_ids::kServerStatus), nullptr);
+  EXPECT_NE(space.find(node_ids::kSoftwareVersion), nullptr);
+  EXPECT_EQ(space.find(NodeId(0, 424242)), nullptr);
+  // Root organizes Objects; Objects organizes Server.
+  bool found = false;
+  for (const auto& ref : space.references_of(node_ids::kObjectsFolder)) {
+    found |= ref.target == node_ids::kServer;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AddressSpace, NamespaceRegistrationIsIdempotent) {
+  AddressSpace space;
+  EXPECT_EQ(space.namespaces().size(), 1u);
+  const std::uint16_t a = space.add_namespace("urn:x");
+  const std::uint16_t b = space.add_namespace("urn:y");
+  const std::uint16_t a_again = space.add_namespace("urn:x");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(a_again, a);
+  EXPECT_EQ(space.namespaces().size(), 3u);
+}
+
+TEST(AddressSpace, NamespaceArrayValueTracksRegistrations) {
+  AddressSpace space;
+  space.add_namespace("urn:vendor");
+  const DataValue dv = space.read_attribute(node_ids::kNamespaceArray, AttributeId::Value);
+  ASSERT_TRUE(dv.value.is<std::vector<std::string>>());
+  const auto& arr = dv.value.as<std::vector<std::string>>();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[1], "urn:vendor");
+}
+
+TEST(AddressSpace, SoftwareVersionReadable) {
+  AddressSpace space;
+  space.set_software_version("9.9.9");
+  const DataValue dv = space.read_attribute(node_ids::kSoftwareVersion, AttributeId::Value);
+  EXPECT_EQ(dv.value, Variant{"9.9.9"});
+}
+
+TEST(AddressSpace, UnreadableValueReturnsBadNotReadable) {
+  AddressSpace space;
+  const std::uint16_t ns = space.add_namespace("urn:t");
+  space.add_object(NodeId(ns, 1), node_ids::kObjectsFolder, "Obj");
+  space.add_variable(NodeId(ns, 2), NodeId(ns, 1), "hidden", Variant{1.0}, 0);
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 2), AttributeId::Value).status,
+            StatusCode::BadNotReadable);
+  // But UserAccessLevel itself is always readable (the scanner depends on it).
+  const DataValue level = space.read_attribute(NodeId(ns, 2), AttributeId::UserAccessLevel);
+  EXPECT_EQ(level.status, StatusCode::Good);
+  EXPECT_EQ(level.value, Variant{std::uint32_t{0}});
+}
+
+TEST(AddressSpace, AttributeTypeMismatches) {
+  AddressSpace space;
+  const std::uint16_t ns = space.add_namespace("urn:t");
+  space.add_object(NodeId(ns, 1), node_ids::kObjectsFolder, "Obj");
+  space.add_method(NodeId(ns, 3), NodeId(ns, 1), "Go", true);
+  // Executable on a non-method / Value on an object / unknown attribute.
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 1), AttributeId::Executable).status,
+            StatusCode::BadAttributeIdInvalid);
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 1), AttributeId::Value).status,
+            StatusCode::BadAttributeIdInvalid);
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 3), AttributeId::UserAccessLevel).status,
+            StatusCode::BadAttributeIdInvalid);
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 3), AttributeId::UserExecutable).status,
+            StatusCode::Good);
+  EXPECT_EQ(space.read_attribute(NodeId(0, 999999), AttributeId::Value).status,
+            StatusCode::BadNodeIdUnknown);
+}
+
+TEST(AddressSpace, BrowseNameAndDisplayName) {
+  AddressSpace space;
+  const std::uint16_t ns = space.add_namespace("urn:t");
+  space.add_object(NodeId(ns, 1), node_ids::kObjectsFolder, "Obj");
+  space.add_variable(NodeId(ns, 2), NodeId(ns, 1), "m3InflowPerHour", Variant{3.0},
+                     access_level::kCurrentRead);
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 2), AttributeId::BrowseName).value,
+            Variant{"m3InflowPerHour"});
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 2), AttributeId::DisplayName).value,
+            Variant{"m3InflowPerHour"});
+  EXPECT_EQ(space.read_attribute(NodeId(ns, 2), AttributeId::NodeClass).value,
+            Variant{static_cast<std::uint32_t>(NodeClass::Variable)});
+}
+
+TEST(AddressSpace, CountsByClass) {
+  AddressSpace space;
+  const std::uint16_t ns = space.add_namespace("urn:t");
+  space.add_object(NodeId(ns, 1), node_ids::kObjectsFolder, "Obj");
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    space.add_variable(NodeId(ns, 10 + i), NodeId(ns, 1), "v", Variant{1.0},
+                       access_level::kCurrentRead);
+  }
+  space.add_method(NodeId(ns, 100), NodeId(ns, 1), "m", false);
+  // 4 ns0 variables + 5 added.
+  EXPECT_EQ(space.count_of_class(NodeClass::Variable), 9u);
+  EXPECT_EQ(space.count_of_class(NodeClass::Method), 1u);
+}
+
+}  // namespace
+}  // namespace opcua_study

@@ -1,0 +1,225 @@
+// Bignum arithmetic: known answers, algebraic properties, division oracle.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+namespace {
+
+TEST(Bignum, BasicConstructionAndFormat) {
+  EXPECT_TRUE(Bignum{}.is_zero());
+  EXPECT_EQ(Bignum{0x1234}.to_hex(), "1234");
+  EXPECT_EQ(Bignum{0xdeadbeefcafeULL}.to_hex(), "deadbeefcafe");
+  EXPECT_EQ(Bignum::from_hex("deadbeefcafe").low_u64(), 0xdeadbeefcafeULL);
+  EXPECT_EQ(Bignum::from_hex("0").to_hex(), "0");
+}
+
+TEST(Bignum, ByteRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum v = Bignum::random_bits(rng, 1 + static_cast<std::size_t>(rng.below(300)));
+    const Bytes be = v.to_bytes_be();
+    EXPECT_EQ(Bignum::from_bytes_be(be), v);
+    const Bytes padded = v.to_bytes_be(64);
+    EXPECT_EQ(padded.size(), std::max<std::size_t>(64, be.size()));
+    EXPECT_EQ(Bignum::from_bytes_be(padded), v);
+  }
+}
+
+TEST(Bignum, AddSubProperties) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 200);
+    const Bignum b = Bignum::random_bits(rng, 150);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+  EXPECT_THROW(Bignum{1} - Bignum{2}, std::domain_error);
+}
+
+TEST(Bignum, MulKnownAnswersAndProperties) {
+  EXPECT_EQ((Bignum::from_hex("ffffffff") * Bignum::from_hex("ffffffff")).to_hex(),
+            "fffffffe00000001");
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 300);
+    const Bignum b = Bignum::random_bits(rng, 200);
+    const Bignum c = Bignum::random_bits(rng, 100);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+  EXPECT_TRUE((Bignum{0} * Bignum::from_hex("abcdef")).is_zero());
+}
+
+TEST(Bignum, Shifts) {
+  const Bignum v = Bignum::from_hex("123456789abcdef0");
+  EXPECT_EQ((v << 4).to_hex(), "123456789abcdef00");
+  EXPECT_EQ((v >> 4).to_hex(), "123456789abcdef");
+  EXPECT_EQ((v << 37 >> 37), v);
+  EXPECT_TRUE((v >> 200).is_zero());
+  Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 128);
+    const std::size_t s = rng.below(100);
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(Bignum, DivModKnownAnswers) {
+  auto [q, r] = Bignum::from_hex("deadbeefcafebabe").divmod(Bignum::from_hex("12345"));
+  EXPECT_EQ(q * Bignum::from_hex("12345") + r, Bignum::from_hex("deadbeefcafebabe"));
+  EXPECT_LT(r, Bignum::from_hex("12345"));
+  EXPECT_EQ((Bignum{100} / Bignum{7}).low_u64(), 14u);
+  EXPECT_EQ((Bignum{100} % Bignum{7}).low_u64(), 2u);
+  EXPECT_THROW(Bignum{1}.divmod(Bignum{}), std::domain_error);
+}
+
+// Knuth-D fast division must agree with the binary reference on random
+// operand shapes, including the add-back-triggering corner cases.
+class BignumDivision : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BignumDivision, MatchesBinaryReference) {
+  const auto [a_bits, b_bits] = GetParam();
+  Rng rng(hash64("div") ^ (a_bits * 131 + b_bits));
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = Bignum::random_bits(rng, a_bits);
+    Bignum b = Bignum::random_bits(rng, b_bits);
+    if (b.is_zero()) b = Bignum{1};
+    const auto fast = a.divmod(b);
+    const auto ref = a.divmod_binary(b);
+    EXPECT_EQ(fast.quotient, ref.quotient);
+    EXPECT_EQ(fast.remainder, ref.remainder);
+    EXPECT_EQ(fast.quotient * b + fast.remainder, a);
+    EXPECT_LT(fast.remainder, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandShapes, BignumDivision,
+    ::testing::Values(std::make_tuple(64, 32), std::make_tuple(64, 64), std::make_tuple(128, 64),
+                      std::make_tuple(256, 33), std::make_tuple(512, 256),
+                      std::make_tuple(1024, 512), std::make_tuple(2048, 1024),
+                      std::make_tuple(333, 65), std::make_tuple(96, 96)));
+
+TEST(Bignum, DivisionAddBackStress) {
+  // Operands with long runs of 0xff limbs push qhat estimation to its edge.
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Bignum a = Bignum::random_bits(rng, 160);
+    Bignum b = Bignum::random_bits(rng, 96);
+    // Force many high bits.
+    for (std::size_t bit = 96; bit < 160; ++bit) a.set_bit(bit);
+    for (std::size_t bit = 64; bit < 96; ++bit) b.set_bit(bit);
+    const auto fast = a.divmod(b);
+    EXPECT_EQ(fast.quotient * b + fast.remainder, a);
+    EXPECT_LT(fast.remainder, b);
+  }
+}
+
+TEST(Bignum, ModU32) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 200);
+    const std::uint32_t d = static_cast<std::uint32_t>(rng.range(1, 1 << 30));
+    EXPECT_EQ(a.mod_u32(d), (a % Bignum{d}).low_u64());
+  }
+}
+
+TEST(Bignum, Gcd) {
+  EXPECT_EQ(Bignum::gcd(Bignum{12}, Bignum{18}).low_u64(), 6u);
+  EXPECT_EQ(Bignum::gcd(Bignum{17}, Bignum{13}).low_u64(), 1u);
+  EXPECT_EQ(Bignum::gcd(Bignum{}, Bignum{5}).low_u64(), 5u);
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const Bignum g = Bignum::random_bits(rng, 64) + Bignum{1};
+    const Bignum a = Bignum::random_bits(rng, 64) + Bignum{1};
+    const Bignum b = Bignum::random_bits(rng, 64) + Bignum{1};
+    const Bignum got = Bignum::gcd(g * a, g * b);
+    EXPECT_TRUE((got % g).is_zero());  // g divides gcd
+    EXPECT_TRUE(((g * a) % got).is_zero());
+    EXPECT_TRUE(((g * b) % got).is_zero());
+  }
+}
+
+TEST(Bignum, ModInverse) {
+  EXPECT_EQ(Bignum::mod_inverse(Bignum{3}, Bignum{7}).low_u64(), 5u);
+  EXPECT_THROW(Bignum::mod_inverse(Bignum{6}, Bignum{9}), std::domain_error);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const Bignum m = Bignum::random_bits(rng, 128) + Bignum{2};
+    Bignum a = Bignum::random_bits(rng, 100) + Bignum{1};
+    if (Bignum::gcd(a, m) != Bignum{1}) continue;
+    const Bignum inv = Bignum::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, Bignum{1} % m);
+  }
+}
+
+TEST(Bignum, ModPowKnownAnswersAndFermat) {
+  EXPECT_EQ(Bignum::mod_pow(Bignum{2}, Bignum{10}, Bignum{1000}).low_u64(), 24u);
+  EXPECT_EQ(Bignum::mod_pow(Bignum{5}, Bignum{0}, Bignum{7}).low_u64(), 1u);
+  // Fermat's little theorem for a known prime.
+  const Bignum p = Bignum::from_hex("ffffffffffffffc5");  // largest 64-bit prime
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const Bignum a = Bignum::random_below(rng, p - Bignum{2}) + Bignum{1};
+    EXPECT_EQ(Bignum::mod_pow(a, p - Bignum{1}, p), Bignum{1});
+  }
+}
+
+TEST(Bignum, ModPowEvenModulus) {
+  EXPECT_EQ(Bignum::mod_pow(Bignum{3}, Bignum{5}, Bignum{100}).low_u64(), 43u);
+}
+
+TEST(Montgomery, MatchesPlainModMul) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    Bignum n = Bignum::random_bits(rng, 256);
+    n.set_bit(0);  // odd
+    n.set_bit(255);
+    Montgomery mont(n);
+    const Bignum a = Bignum::random_below(rng, n);
+    const Bignum b = Bignum::random_below(rng, n);
+    const Bignum got = mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % n);
+  }
+}
+
+TEST(Primes, MillerRabinKnownValues) {
+  Rng rng(10);
+  EXPECT_TRUE(Bignum::is_probable_prime(Bignum{2}, 10, rng));
+  EXPECT_TRUE(Bignum::is_probable_prime(Bignum{65537}, 10, rng));
+  EXPECT_TRUE(Bignum::is_probable_prime(Bignum::from_hex("ffffffffffffffc5"), 10, rng));
+  EXPECT_FALSE(Bignum::is_probable_prime(Bignum{1}, 10, rng));
+  EXPECT_FALSE(Bignum::is_probable_prime(Bignum{561}, 10, rng));       // Carmichael
+  EXPECT_FALSE(Bignum::is_probable_prime(Bignum{41041}, 10, rng));     // Carmichael
+  EXPECT_FALSE(Bignum::is_probable_prime(Bignum{3215031751ULL}, 10, rng));
+  const Bignum p = Bignum::from_hex("ffffffffffffffc5");
+  EXPECT_FALSE(Bignum::is_probable_prime(p * p, 10, rng));
+}
+
+TEST(Primes, GeneratePrimeHasRequestedShape) {
+  Rng rng(11);
+  for (std::size_t bits : {128u, 192u, 256u}) {
+    const Bignum p = Bignum::generate_prime(rng, bits, 8);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.bit(bits - 2));  // top-two-bits convention
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(Bignum::is_probable_prime(p, 12, rng));
+  }
+}
+
+TEST(Rngs, DeterministicChildStreams) {
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(a.next(), b.next());
+  Rng c1 = Rng(42).child("x");
+  Rng c2 = Rng(42).child("x");
+  Rng c3 = Rng(42).child("y");
+  EXPECT_EQ(c1.next(), c2.next());
+  EXPECT_NE(c1.next(), c3.next());
+}
+
+}  // namespace
+}  // namespace opcua_study

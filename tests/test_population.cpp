@@ -1,0 +1,469 @@
+// Calibration tests: the population *plan* must reproduce every marginal
+// the paper reports. These run on pure plan data (no keys, no sockets), so
+// they are fast and pin down the entire cohort algebra of DESIGN.md §4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+#include <set>
+
+#include "population/plan.hpp"
+
+namespace opcua_study {
+namespace {
+
+class PopulationPlanTest : public ::testing::Test {
+ protected:
+  static const PopulationPlan& plan() {
+    static const PopulationPlan p = build_population_plan(42);
+    return p;
+  }
+  static std::vector<const HostPlan*> final_servers() {
+    std::vector<const HostPlan*> out;
+    for (const auto& host : plan().hosts) {
+      if (!host.discovery && host.present_in_week(7)) out.push_back(&host);
+    }
+    return out;
+  }
+};
+
+TEST_F(PopulationPlanTest, FinalWeekHas1114Servers) {
+  EXPECT_EQ(final_servers().size(), 1114u);
+}
+
+TEST_F(PopulationPlanTest, WeeklyTotalsMatchFigure2) {
+  const WeeklyTargets targets;
+  for (int w = 0; w < kNumMeasurements; ++w) {
+    long servers = 0, discovery = 0;
+    for (const auto& host : plan().hosts) {
+      if (!host.present_in_week(w)) continue;
+      if (host.discovery) {
+        ++discovery;
+      } else if (!host.via_reference_only || w >= 3) {
+        ++servers;
+      }
+    }
+    EXPECT_EQ(servers, targets.servers_found[w]) << "week " << w;
+    EXPECT_EQ(discovery, targets.discovery_found[w]) << "week " << w;
+    // Paper: between 1761 and 2069 hosts.
+    EXPECT_GE(targets.total(w), 1761);
+    EXPECT_LE(targets.total(w), 2069);
+  }
+  // Final week: 42 % discovery servers.
+  const double discovery_share = 807.0 / (807 + 1114);
+  EXPECT_NEAR(discovery_share, 0.42, 0.01);
+}
+
+TEST_F(PopulationPlanTest, SecurityModeMarginalsMatchFigure3) {
+  std::map<std::string, int> support, least, most;
+  for (const auto* host : final_servers()) {
+    bool n = false, s = false, e = false;
+    for (auto m : host->modes) {
+      n |= m == MessageSecurityMode::None;
+      s |= m == MessageSecurityMode::Sign;
+      e |= m == MessageSecurityMode::SignAndEncrypt;
+    }
+    support["N"] += n;
+    support["S"] += s;
+    support["E"] += e;
+    (n ? least["N"] : s ? least["S"] : least["E"]) += 1;
+    (e ? most["E"] : s ? most["S"] : most["N"]) += 1;
+  }
+  EXPECT_EQ(support["N"], 1035);
+  EXPECT_EQ(support["S"], 588);
+  EXPECT_EQ(support["E"], 843);
+  EXPECT_EQ(least["N"], 1035);
+  EXPECT_EQ(least["S"], 28);
+  EXPECT_EQ(least["E"], 51);
+  EXPECT_EQ(most["N"], 270);
+  EXPECT_EQ(most["S"], 1);
+  EXPECT_EQ(most["E"], 843);
+}
+
+TEST_F(PopulationPlanTest, SecurityPolicyMarginalsMatchFigure3) {
+  std::map<SecurityPolicy, int> support, least, most;
+  for (const auto* host : final_servers()) {
+    SecurityPolicy weakest = SecurityPolicy::None;
+    SecurityPolicy strongest = SecurityPolicy::None;
+    int weakest_rank = 1000, strongest_rank = -1;
+    for (auto p : host->policies) {
+      support[p] += 1;
+      const int rank = policy_info(p).rank;
+      if (rank < weakest_rank) {
+        weakest_rank = rank;
+        weakest = p;
+      }
+      if (rank > strongest_rank) {
+        strongest_rank = rank;
+        strongest = p;
+      }
+    }
+    least[weakest] += 1;
+    most[strongest] += 1;
+  }
+  using SP = SecurityPolicy;
+  EXPECT_EQ(support[SP::None], 1035);
+  EXPECT_EQ(support[SP::Basic128Rsa15], 715);
+  EXPECT_EQ(support[SP::Basic256], 762);
+  EXPECT_EQ(support[SP::Aes128Sha256RsaOaep], 10);
+  EXPECT_EQ(support[SP::Basic256Sha256], 564);
+  EXPECT_EQ(support[SP::Aes256Sha256RsaPss], 8);
+  EXPECT_EQ(least[SP::None], 1035);
+  EXPECT_EQ(least[SP::Basic128Rsa15], 13);
+  EXPECT_EQ(least[SP::Basic256], 50);
+  EXPECT_EQ(least[SP::Basic256Sha256], 16);
+  EXPECT_EQ(most[SP::None], 270);
+  EXPECT_EQ(most[SP::Basic128Rsa15], 24);
+  EXPECT_EQ(most[SP::Basic256], 256);
+  EXPECT_EQ(most[SP::Aes128Sha256RsaOaep], 0);
+  EXPECT_EQ(most[SP::Basic256Sha256], 556);
+  EXPECT_EQ(most[SP::Aes256Sha256RsaPss], 8);
+  // 786 hosts still support a deprecated (SHA-1) policy; only 16 enforce
+  // strong policies; 564 can speak a sufficient one.
+  int deprecated_any = 0;
+  for (const auto* host : final_servers()) {
+    bool dep = false;
+    for (auto p : host->policies) dep |= policy_info(p).deprecated;
+    deprecated_any += dep;
+  }
+  EXPECT_EQ(deprecated_any, 786);
+}
+
+TEST_F(PopulationPlanTest, CertificateConformanceMatchesFigure4) {
+  int s2_weak = 0, d1_strong = 0, d2_strong = 0, s1_weak = 0, weaker_than_max = 0, no_cert = 0;
+  for (const auto* host : final_servers()) {
+    if (!host->certificate.present) {
+      ++no_cert;
+      continue;
+    }
+    const HashAlgorithm hash = host->certificate.signature_hash;
+    const std::size_t bits = host->certificate.key_bits;
+    for (auto p : host->policies) {
+      const CertConformance conf = classify_certificate(p, hash, bits);
+      if (p == SecurityPolicy::Basic256Sha256 && conf == CertConformance::too_weak) ++s2_weak;
+      if (p == SecurityPolicy::Basic128Rsa15 && conf == CertConformance::too_strong) ++d1_strong;
+      if (p == SecurityPolicy::Basic256 && conf == CertConformance::too_strong) ++d2_strong;
+      if (p == SecurityPolicy::Aes128Sha256RsaOaep && conf == CertConformance::too_weak) ++s1_weak;
+    }
+    if (classify_certificate(host->max_policy(), hash, bits) == CertConformance::too_weak) {
+      ++weaker_than_max;
+    }
+  }
+  EXPECT_EQ(s2_weak, 409);    // Fig. 4 "↓409"
+  EXPECT_EQ(d1_strong, 75);   // Fig. 4 "↑75"
+  EXPECT_EQ(d2_strong, 5);    // Fig. 4 "↑5"
+  EXPECT_EQ(s1_weak, 7);      // Fig. 4 "↓7"
+  EXPECT_EQ(no_cert, 40);
+  // §5.2 takeaway: 70 % of the 844 servers that could provide sufficient
+  // security realize a weaker level in practice (591 = 409 + 182 MD5 on
+  // deprecated-max hosts).
+  EXPECT_EQ(weaker_than_max, 591);
+  EXPECT_NEAR(static_cast<double>(weaker_than_max) / 844.0, 0.70, 0.005);
+}
+
+TEST_F(PopulationPlanTest, DeficitRollupIs92Percent) {
+  int none_only = 0, deprecated_max = 0, weak_cert = 0, deficient = 0;
+  for (const auto* host : final_servers()) {
+    const SecurityPolicy max = host->max_policy();
+    const bool no_sec = max == SecurityPolicy::None;
+    const bool dep_max = policy_info(max).deprecated;
+    const bool cert_weak =
+        host->certificate.present &&
+        classify_certificate(max, host->certificate.signature_hash,
+                             host->certificate.key_bits) == CertConformance::too_weak;
+    none_only += no_sec;
+    deprecated_max += dep_max;
+    weak_cert += cert_weak;
+    if (no_sec || dep_max || cert_weak || host->anonymous_offered()) ++deficient;
+  }
+  EXPECT_EQ(none_only, 270);       // 24 % offer no security at all
+  EXPECT_EQ(deprecated_max, 280);  // 25 % top out at deprecated policies
+  EXPECT_EQ(deficient, 1025);      // 92.0 % of 1114
+  EXPECT_NEAR(static_cast<double>(deficient) / 1114.0, 0.92, 0.002);
+}
+
+TEST_F(PopulationPlanTest, Table2JointDistribution) {
+  // (anon,cred,cert,token) -> [prod, test, uncl, auth, sc]
+  std::map<std::string, std::array<int, 5>> cells;
+  for (const auto* host : final_servers()) {
+    std::string row;
+    for (UserTokenType t : {UserTokenType::Anonymous, UserTokenType::UserName,
+                            UserTokenType::Certificate, UserTokenType::IssuedToken}) {
+      bool has = false;
+      for (auto tt : host->tokens) has |= tt == t;
+      row += has ? '1' : '0';
+    }
+    auto& cell = cells[row];
+    switch (host->outcome) {
+      case PlannedOutcome::accessible:
+        switch (host->classification) {
+          case PlannedClass::production: cell[0]++; break;
+          case PlannedClass::test: cell[1]++; break;
+          case PlannedClass::unclassified: cell[2]++; break;
+          case PlannedClass::not_applicable: FAIL() << "accessible without class"; break;
+        }
+        break;
+      case PlannedOutcome::auth_rejected: cell[3]++; break;
+      case PlannedOutcome::channel_rejected: cell[4]++; break;
+    }
+  }
+  const std::map<std::string, std::array<int, 5>> expected = {
+      {"1000", {116, 8, 5, 9, 1}},   {"0100", {0, 0, 0, 467, 21}},
+      {"1100", {168, 20, 134, 38, 5}}, {"0110", {0, 0, 0, 4, 7}},
+      {"1110", {11, 14, 17, 17, 3}},  {"0111", {0, 0, 0, 0, 43}},
+      {"1111", {0, 0, 0, 6, 0}},
+  };
+  EXPECT_EQ(cells.size(), expected.size());
+  for (const auto& [row, want] : expected) {
+    ASSERT_TRUE(cells.contains(row)) << row;
+    EXPECT_EQ(cells.at(row), want) << row;
+  }
+}
+
+TEST_F(PopulationPlanTest, AccessControlHeadlines) {
+  int anon = 0, anon_secure_only = 0, accessible = 0, sc_rejected = 0;
+  for (const auto* host : final_servers()) {
+    if (host->anonymous_offered()) {
+      ++anon;
+      if (!host->offers_none_mode()) ++anon_secure_only;
+    }
+    accessible += host->outcome == PlannedOutcome::accessible;
+    sc_rejected += host->outcome == PlannedOutcome::channel_rejected;
+  }
+  EXPECT_EQ(anon, 572);
+  EXPECT_EQ(anon - 9, 563);  // anonymous among the 1034 channel-capable hosts
+  EXPECT_EQ(anon_secure_only, 71);
+  EXPECT_EQ(accessible, 493);
+  EXPECT_EQ(sc_rejected, 80);
+  EXPECT_EQ(1114 - sc_rejected, 1034);
+}
+
+TEST_F(PopulationPlanTest, ReuseGroupsMatchSection53) {
+  std::map<int, int> group_sizes;
+  std::map<int, std::set<std::uint32_t>> group_ases;
+  for (const auto* host : final_servers()) {
+    if (host->certificate.reuse_group >= 0) {
+      group_sizes[host->certificate.reuse_group]++;
+      group_ases[host->certificate.reuse_group].insert(host->asn);
+    }
+  }
+  EXPECT_EQ(group_sizes[0], 385);
+  EXPECT_EQ(group_ases[0].size(), 24u);
+  EXPECT_EQ(group_sizes[1], 9);
+  EXPECT_EQ(group_ases[1].size(), 8u);
+  EXPECT_EQ(group_sizes[2], 6);
+  EXPECT_EQ(group_ases[2].size(), 5u);
+  // Nine certificates on >= 3 hosts.
+  int ge3 = 0;
+  for (const auto& [group, size] : group_sizes) {
+    if (size >= 3) ++ge3;
+  }
+  EXPECT_EQ(ge3, 9);
+  // The reuse fleet grows 263 → 400, +3 in the final week (§5.5).
+  auto reuse_at_week = [&](int w) {
+    int n = 0;
+    for (const auto& host : plan().hosts) {
+      if (!host.discovery && host.certificate.reuse_group >= 0 &&
+          host.certificate.reuse_group <= 2 && host.present_in_week(w)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(reuse_at_week(0), 263);
+  EXPECT_EQ(reuse_at_week(7), 400);
+  EXPECT_EQ(reuse_at_week(7) - reuse_at_week(6), 3);
+}
+
+TEST_F(PopulationPlanTest, ManufacturerClustersMatchFigure2) {
+  std::map<std::string, int> counts;
+  for (const auto* host : final_servers()) counts[host->manufacturer]++;
+  EXPECT_EQ(counts["Bachmann"], 406);
+  EXPECT_EQ(counts["Beckhoff"], 112);
+  EXPECT_EQ(counts["Wago"], 78);
+  // The all-None manufacturer of §B.1.1: every device None-only.
+  for (const auto* host : final_servers()) {
+    if (host->manufacturer == "EnergoTec") {
+      EXPECT_EQ(host->max_policy(), SecurityPolicy::None);
+    }
+  }
+  EXPECT_EQ(counts["EnergoTec"], 51);
+}
+
+TEST_F(PopulationPlanTest, CertificateLedgerMatchesSection55) {
+  // Distinct certificates across all eight measurements = 4296 (§5.5):
+  // 877 final-week distinct + 108 departers + 84 renewals + 7 * 461
+  // ephemerals.
+  int ephemerals = 0, duals = 0, renewals = 0, upgrades = 0, downgrades = 0, sw_updates = 0;
+  int departers = 0;
+  std::set<std::string> stable_labels;
+  for (const auto& host : plan().hosts) {
+    if (host.discovery) continue;
+    if (host.cohort == "departer") {
+      ++departers;
+      continue;
+    }
+    if (!host.present_in_week(7)) continue;
+    ephemerals += host.certificate.ephemeral;
+    duals += host.certificate.dual_certificate;
+    if (host.renewal) {
+      ++renewals;
+      sw_updates += host.renewal->software_update;
+      if (!host.renewal->dual) {
+        if (host.renewal->old_hash == HashAlgorithm::sha1 &&
+            host.certificate.signature_hash == HashAlgorithm::sha256) {
+          ++upgrades;
+        }
+        if (host.renewal->old_hash == HashAlgorithm::sha256 &&
+            host.certificate.signature_hash == HashAlgorithm::sha1) {
+          ++downgrades;
+        }
+      }
+    }
+    if (host.certificate.present) {
+      stable_labels.insert(host.certificate.reuse_group >= 0
+                               ? "group-" + std::to_string(host.certificate.reuse_group)
+                               : "host-" + std::to_string(host.index));
+    }
+  }
+  EXPECT_EQ(ephemerals, 461);
+  EXPECT_EQ(duals, 224);
+  EXPECT_EQ(departers, 108);
+  EXPECT_EQ(renewals, 84);
+  EXPECT_EQ(upgrades, 7);
+  EXPECT_EQ(downgrades, 1);
+  EXPECT_EQ(sw_updates, 9);
+  // Final-week distinct = distinct primaries + duals.
+  const long final_distinct = static_cast<long>(stable_labels.size()) + duals;
+  EXPECT_EQ(final_distinct, 877);
+  const long total = final_distinct + departers + renewals + 7L * ephemerals;
+  EXPECT_EQ(total, 4296);
+}
+
+TEST_F(PopulationPlanTest, Sha1NotBeforeLedgerMatchesSection55) {
+  // SHA-1 certificates generated after the 2017 deprecation: 2174, of which
+  // 1923 since 2019 (§5.5). Ephemeral certs are stamped with the scan date
+  // (all post-2019: 8 x 234); renewals contribute 49 post-2019 SHA-1 certs.
+  const std::int64_t y2017 = days_from_civil({2017, 1, 1});
+  const std::int64_t y2019 = days_from_civil({2019, 1, 1});
+  long stable_2017 = 0, stable_2019 = 0, eph_sha1 = 0, renewal_sha1 = 0;
+  std::set<std::string> seen_groups;
+  for (const auto& host : plan().hosts) {
+    if (host.discovery || host.cohort == "departer" || !host.certificate.present) continue;
+    const auto& cert = host.certificate;
+    if (cert.ephemeral) {
+      if (cert.signature_hash == HashAlgorithm::sha1) ++eph_sha1;
+      continue;
+    }
+    if (host.renewal && !host.renewal->dual && cert.signature_hash == HashAlgorithm::sha1) {
+      ++renewal_sha1;  // the renewed (post-2019) primary
+    }
+    if (host.renewal && host.renewal->dual) ++renewal_sha1;  // refreshed SHA-1 dual
+    // Stable primaries (deduplicate reuse groups).
+    if (cert.signature_hash == HashAlgorithm::sha1) {
+      const std::string label = cert.reuse_group >= 0
+                                    ? "group-" + std::to_string(cert.reuse_group)
+                                    : "host-" + std::to_string(host.index);
+      if (seen_groups.insert(label).second) {
+        if (cert.not_before_days >= y2019) {
+          ++stable_2019;
+        } else if (cert.not_before_days >= y2017) {
+          ++stable_2017;
+        }
+      }
+    }
+    if (cert.dual_certificate) {
+      if (cert.dual_not_before_days >= y2019) {
+        ++stable_2019;
+      } else if (cert.dual_not_before_days >= y2017) {
+        ++stable_2017;
+      }
+    }
+  }
+  EXPECT_EQ(eph_sha1, 234);
+  EXPECT_EQ(renewal_sha1, 49);  // 48 dual refreshes + 1 downgrade
+  const long post_2019 = 8 * eph_sha1 + renewal_sha1 + stable_2019;
+  const long post_2017 = post_2019 + stable_2017;
+  EXPECT_EQ(post_2019, 1923);
+  EXPECT_EQ(post_2017, 2174);
+}
+
+TEST_F(PopulationPlanTest, WeeklyDeficiencyStaysInPaperBand) {
+  double sum = 0, sum_sq = 0, min = 100, max = 0;
+  for (int w = 0; w < kNumMeasurements; ++w) {
+    long found = 0, deficient = 0;
+    for (const auto& host : plan().hosts) {
+      if (host.discovery || !host.present_in_week(w)) continue;
+      if (host.via_reference_only && w < 3) continue;
+      ++found;
+      const SecurityPolicy maxp = host.max_policy();
+      const bool bad = maxp == SecurityPolicy::None || policy_info(maxp).deprecated ||
+                       (host.certificate.present &&
+                        classify_certificate(
+                            maxp,
+                            host.renewal && !host.renewal->dual && w < host.renewal->week
+                                ? host.renewal->old_hash
+                                : host.certificate.signature_hash,
+                            host.certificate.key_bits) == CertConformance::too_weak) ||
+                       host.anonymous_offered();
+      deficient += bad;
+    }
+    const double pct = 100.0 * static_cast<double>(deficient) / static_cast<double>(found);
+    sum += pct;
+    sum_sq += pct * pct;
+    min = std::min(min, pct);
+    max = std::max(max, pct);
+  }
+  const double avg = sum / kNumMeasurements;
+  const double std_dev = std::sqrt(sum_sq / kNumMeasurements - avg * avg);
+  EXPECT_NEAR(avg, 92.0, 0.4);      // paper: avg 92 %
+  EXPECT_LE(std_dev, 1.1);          // paper: std 0.8
+  EXPECT_GE(min, 91.0);             // paper: min 91 %
+  EXPECT_LE(max, 94.0);             // paper: max 94 %
+}
+
+TEST_F(PopulationPlanTest, Figure7AccessFractionQuantiles) {
+  int accessible = 0, read97 = 0, write10 = 0, exec86 = 0;
+  for (const auto* host : final_servers()) {
+    if (host->outcome != PlannedOutcome::accessible) continue;
+    ++accessible;
+    read97 += host->readable_fraction > 0.97;
+    write10 += host->writable_fraction > 0.10;
+    exec86 += host->executable_fraction > 0.86;
+  }
+  ASSERT_EQ(accessible, 493);
+  EXPECT_NEAR(static_cast<double>(read97) / accessible, 0.90, 0.02);
+  EXPECT_NEAR(static_cast<double>(write10) / accessible, 0.33, 0.02);
+  EXPECT_NEAR(static_cast<double>(exec86) / accessible, 0.61, 0.02);
+}
+
+TEST_F(PopulationPlanTest, ViaReferenceHostsAreStableNonDefaultPort) {
+  int count = 0;
+  for (const auto* host : final_servers()) {
+    if (!host->via_reference_only) continue;
+    ++count;
+    EXPECT_NE(host->port, kOpcUaDefaultPort);
+    EXPECT_FALSE(host->certificate.ephemeral);
+    EXPECT_EQ(host->arrival_week, 0);
+  }
+  EXPECT_EQ(count, 45);
+  // Every referenced host is wired to a discovery server.
+  std::set<int> referenced;
+  for (const auto& [ds, target] : plan().discovery_references) referenced.insert(target);
+  EXPECT_EQ(referenced.size(), 45u);
+}
+
+TEST_F(PopulationPlanTest, DeterministicAcrossCalls) {
+  const PopulationPlan a = build_population_plan(42);
+  const PopulationPlan b = build_population_plan(42);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].cohort, b.hosts[i].cohort);
+    EXPECT_EQ(a.hosts[i].asn, b.hosts[i].asn);
+    EXPECT_EQ(a.hosts[i].certificate.not_before_days, b.hosts[i].certificate.not_before_days);
+  }
+}
+
+}  // namespace
+}  // namespace opcua_study

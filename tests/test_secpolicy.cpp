@@ -1,0 +1,137 @@
+// Security-policy registry (Table 1) and the certificate-conformance
+// lattice that drives Figure 4.
+#include <gtest/gtest.h>
+
+#include "opcua/secpolicy.hpp"
+
+namespace opcua_study {
+namespace {
+
+TEST(PolicyRegistry, Table1Contents) {
+  const auto& d1 = policy_info(SecurityPolicy::Basic128Rsa15);
+  EXPECT_TRUE(d1.deprecated);
+  EXPECT_EQ(d1.min_key_bits, 1024u);
+  EXPECT_EQ(d1.max_key_bits, 2048u);
+  EXPECT_EQ(d1.min_cert_hash, HashAlgorithm::sha1);
+  EXPECT_EQ(d1.max_cert_hash, HashAlgorithm::sha1);
+  EXPECT_EQ(d1.short_name, "D1");
+
+  const auto& d2 = policy_info(SecurityPolicy::Basic256);
+  EXPECT_TRUE(d2.deprecated);
+  EXPECT_EQ(d2.max_cert_hash, HashAlgorithm::sha256);  // D2 allows SHA-256 certs
+
+  const auto& s2 = policy_info(SecurityPolicy::Basic256Sha256);
+  EXPECT_TRUE(s2.secure);
+  EXPECT_EQ(s2.min_key_bits, 2048u);
+  EXPECT_EQ(s2.max_key_bits, 4096u);
+  EXPECT_EQ(s2.short_name, "S2");
+
+  EXPECT_FALSE(policy_info(SecurityPolicy::None).secure);
+  EXPECT_FALSE(policy_info(SecurityPolicy::None).deprecated);
+}
+
+TEST(PolicyRegistry, RanksAreStrictlyOrdered) {
+  int prev = -1;
+  for (const auto policy : kAllPolicies) {
+    EXPECT_GT(policy_info(policy).rank, prev);
+    prev = policy_info(policy).rank;
+  }
+}
+
+TEST(PolicyRegistry, UriRoundTrip) {
+  for (const auto policy : kAllPolicies) {
+    const auto& info = policy_info(policy);
+    const auto parsed = policy_from_uri(info.uri);
+    ASSERT_TRUE(parsed.has_value()) << info.uri;
+    EXPECT_EQ(*parsed, policy);
+    const auto by_name = policy_from_short_name(info.short_name);
+    ASSERT_TRUE(by_name.has_value());
+    EXPECT_EQ(*by_name, policy);
+  }
+  EXPECT_FALSE(policy_from_uri("http://example.org/not-a-policy").has_value());
+  EXPECT_FALSE(policy_from_short_name("Z9").has_value());
+}
+
+TEST(Conformance, PaperExamples) {
+  using SP = SecurityPolicy;
+  // S2 with SHA-1 or short keys: the paper's 409 "too weak".
+  EXPECT_EQ(classify_certificate(SP::Basic256Sha256, HashAlgorithm::sha1, 2048),
+            CertConformance::too_weak);
+  EXPECT_EQ(classify_certificate(SP::Basic256Sha256, HashAlgorithm::sha256, 1024),
+            CertConformance::too_weak);
+  EXPECT_EQ(classify_certificate(SP::Basic256Sha256, HashAlgorithm::md5, 2048),
+            CertConformance::too_weak);
+  EXPECT_EQ(classify_certificate(SP::Basic256Sha256, HashAlgorithm::sha256, 2048),
+            CertConformance::conformant);
+  EXPECT_EQ(classify_certificate(SP::Basic256Sha256, HashAlgorithm::sha256, 4096),
+            CertConformance::conformant);
+  // D1 with SHA-256: the paper's 75 "too strong".
+  EXPECT_EQ(classify_certificate(SP::Basic128Rsa15, HashAlgorithm::sha256, 2048),
+            CertConformance::too_strong);
+  EXPECT_EQ(classify_certificate(SP::Basic128Rsa15, HashAlgorithm::sha1, 2048),
+            CertConformance::conformant);
+  // D2 allows SHA-256 certs but not >2048-bit keys: the paper's 5.
+  EXPECT_EQ(classify_certificate(SP::Basic256, HashAlgorithm::sha256, 2048),
+            CertConformance::conformant);
+  EXPECT_EQ(classify_certificate(SP::Basic256, HashAlgorithm::sha256, 4096),
+            CertConformance::too_strong);
+  // Policy None has no certificate requirements.
+  EXPECT_EQ(classify_certificate(SP::None, HashAlgorithm::md5, 512),
+            CertConformance::conformant);
+}
+
+TEST(Conformance, WeaknessDominatesOverStrength) {
+  // MD5 signature with an oversized key: still "too weak" (the announced
+  // security level is not delivered).
+  EXPECT_EQ(classify_certificate(SecurityPolicy::Basic128Rsa15, HashAlgorithm::md5, 4096),
+            CertConformance::too_weak);
+}
+
+class ConformanceLattice
+    : public ::testing::TestWithParam<std::tuple<SecurityPolicy, HashAlgorithm, std::size_t>> {};
+
+// Property: upgrading hash or key of a conformant certificate never makes
+// it "too weak"; downgrading never makes it "too strong".
+TEST_P(ConformanceLattice, Monotonicity) {
+  const auto [policy, hash, bits] = GetParam();
+  if (policy == SecurityPolicy::None) return;
+  const CertConformance base = classify_certificate(policy, hash, bits);
+  // Stronger hash.
+  if (hash != HashAlgorithm::sha256) {
+    const HashAlgorithm stronger =
+        hash == HashAlgorithm::md5 ? HashAlgorithm::sha1 : HashAlgorithm::sha256;
+    const CertConformance up = classify_certificate(policy, stronger, bits);
+    if (base == CertConformance::conformant) {
+      EXPECT_NE(up, CertConformance::too_weak);
+    }
+    if (base == CertConformance::too_strong) {
+      EXPECT_EQ(up, CertConformance::too_strong);
+    }
+  }
+  // Larger key.
+  const CertConformance bigger = classify_certificate(policy, hash, bits * 2);
+  if (base == CertConformance::conformant && bigger == CertConformance::too_weak) {
+    // A larger key can only stay weak if the hash is the weak dimension.
+    EXPECT_LT(hash_rank(hash), hash_rank(policy_info(policy).min_cert_hash));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConformanceLattice,
+    ::testing::Combine(::testing::ValuesIn(kAllPolicies),
+                       ::testing::Values(HashAlgorithm::md5, HashAlgorithm::sha1,
+                                         HashAlgorithm::sha256),
+                       ::testing::Values(std::size_t{1024}, std::size_t{2048},
+                                         std::size_t{4096})));
+
+TEST(Modes, RankingAndNames) {
+  EXPECT_LT(security_mode_rank(MessageSecurityMode::None),
+            security_mode_rank(MessageSecurityMode::Sign));
+  EXPECT_LT(security_mode_rank(MessageSecurityMode::Sign),
+            security_mode_rank(MessageSecurityMode::SignAndEncrypt));
+  EXPECT_EQ(security_mode_name(MessageSecurityMode::SignAndEncrypt), "SignAndEncrypt");
+  EXPECT_EQ(security_mode_rank(MessageSecurityMode::Invalid), -1);
+}
+
+}  // namespace
+}  // namespace opcua_study

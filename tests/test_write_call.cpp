@@ -1,0 +1,184 @@
+// Write and Call services: the attacker capabilities behind the paper's
+// Fig. 7 numbers (anonymous writes / executions), gated by per-node rights.
+#include <gtest/gtest.h>
+
+#include "netsim/opcua_service.hpp"
+#include "opcua/client.hpp"
+#include "util/date.hpp"
+
+namespace opcua_study {
+namespace {
+
+struct WriteCallRig {
+  Network net;
+  std::shared_ptr<Server> server;
+  std::unique_ptr<NetConnection> conn;
+  std::unique_ptr<Client> client;
+  std::shared_ptr<AddressSpace> space;
+  std::uint16_t ns = 0;
+
+  WriteCallRig() {
+    space = std::make_shared<AddressSpace>();
+    ns = space->add_namespace("urn:writecall");
+    space->add_object(NodeId(ns, 1), node_ids::kObjectsFolder, "Plant");
+    space->add_variable(NodeId(ns, 2), NodeId(ns, 1), "rSetFillLevel", Variant{50.0},
+                        access_level::kCurrentRead | access_level::kCurrentWrite);
+    space->add_variable(NodeId(ns, 3), NodeId(ns, 1), "ReadOnlySensor", Variant{1.5},
+                        access_level::kCurrentRead);
+    space->add_method(NodeId(ns, 4), NodeId(ns, 1), "AddEndpoint", true);
+    space->add_method(NodeId(ns, 5), NodeId(ns, 1), "Reboot", false);
+
+    ServerConfig config;
+    config.identity.application_uri = "urn:writecall:server";
+    EndpointConfig ep;
+    ep.url = "opc.tcp://10.2.0.1:4840/";
+    ep.certificate_index = -1;
+    config.endpoints.push_back(ep);
+    config.address_space = space;
+    server = std::make_shared<Server>(std::move(config), 3);
+    net.listen(make_ipv4(10, 2, 0, 1), kOpcUaDefaultPort, make_opcua_factory(server));
+    conn = net.connect(make_ipv4(10, 2, 0, 1), kOpcUaDefaultPort);
+    client = std::make_unique<Client>(ClientConfig{}, *conn, Rng(4));
+    EXPECT_EQ(client->hello("opc.tcp://10.2.0.1:4840/"), StatusCode::Good);
+    EXPECT_EQ(client->open_channel(SecurityPolicy::None, MessageSecurityMode::None),
+              StatusCode::Good);
+    EXPECT_EQ(client->create_session(), StatusCode::Good);
+    EXPECT_EQ(client->activate_session_anonymous(), StatusCode::Good);
+  }
+};
+
+TEST(WriteService, AnonymousWriteHonorsUserAccessLevel) {
+  WriteCallRig rig;
+  StatusCode node_status = StatusCode::Good;
+  // Writable node: the write lands.
+  ASSERT_EQ(rig.client->write_value(NodeId(rig.ns, 2), Variant{99.5}, node_status),
+            StatusCode::Good);
+  EXPECT_EQ(node_status, StatusCode::Good);
+  DataValue dv;
+  ASSERT_EQ(rig.client->read(NodeId(rig.ns, 2), AttributeId::Value, dv), StatusCode::Good);
+  EXPECT_EQ(dv.value, Variant{99.5});
+  // Read-only node: rejected, value untouched.
+  ASSERT_EQ(rig.client->write_value(NodeId(rig.ns, 3), Variant{0.0}, node_status),
+            StatusCode::Good);
+  EXPECT_EQ(node_status, StatusCode::BadNotWritable);
+  ASSERT_EQ(rig.client->read(NodeId(rig.ns, 3), AttributeId::Value, dv), StatusCode::Good);
+  EXPECT_EQ(dv.value, Variant{1.5});
+  // Unknown node.
+  ASSERT_EQ(rig.client->write_value(NodeId(rig.ns, 99), Variant{1.0}, node_status),
+            StatusCode::Good);
+  EXPECT_EQ(node_status, StatusCode::BadNodeIdUnknown);
+}
+
+TEST(CallService, AnonymousExecutionHonorsUserExecutable) {
+  WriteCallRig rig;
+  StatusCode method_status = StatusCode::Good;
+  ASSERT_EQ(rig.client->call_method(NodeId(rig.ns, 1), NodeId(rig.ns, 4),
+                                    {Variant{"opc.tcp://evil:4840/"}}, method_status),
+            StatusCode::Good);
+  EXPECT_EQ(method_status, StatusCode::Good);  // AddEndpoint executable by anyone
+  ASSERT_EQ(rig.client->call_method(NodeId(rig.ns, 1), NodeId(rig.ns, 5), {}, method_status),
+            StatusCode::Good);
+  EXPECT_EQ(method_status, StatusCode::BadNotExecutable);  // Reboot locked down
+  ASSERT_EQ(rig.client->call_method(NodeId(rig.ns, 1), NodeId(rig.ns, 77), {}, method_status),
+            StatusCode::Good);
+  EXPECT_EQ(method_status, StatusCode::BadNodeIdUnknown);
+  // Calling a variable as a method is a type error.
+  ASSERT_EQ(rig.client->call_method(NodeId(rig.ns, 1), NodeId(rig.ns, 2), {}, method_status),
+            StatusCode::Good);
+  EXPECT_EQ(method_status, StatusCode::BadAttributeIdInvalid);
+}
+
+TEST(WriteService, MessageRoundTrip) {
+  WriteRequest req;
+  WriteValue wv;
+  wv.node_id = NodeId(2, "rSetFillLevel");
+  wv.value.value = Variant{42.0};
+  req.nodes_to_write.push_back(wv);
+  const Bytes packed = pack_service(req);
+  const auto back = unpack_service<WriteRequest>(packed);
+  ASSERT_EQ(back.nodes_to_write.size(), 1u);
+  EXPECT_EQ(back.nodes_to_write[0].node_id, NodeId(2, "rSetFillLevel"));
+  EXPECT_EQ(back.nodes_to_write[0].value.value, Variant{42.0});
+}
+
+TEST(CallService, MessageRoundTrip) {
+  CallRequest req;
+  CallMethodRequest cm;
+  cm.object_id = NodeId(1, 100);
+  cm.method_id = NodeId(1, 101);
+  cm.input_arguments = {Variant{true}, Variant{"arg"}};
+  req.methods_to_call.push_back(cm);
+  const auto back = unpack_service<CallRequest>(pack_service(req));
+  ASSERT_EQ(back.methods_to_call.size(), 1u);
+  EXPECT_EQ(back.methods_to_call[0].input_arguments.size(), 2u);
+
+  CallResponse resp;
+  CallMethodResult result;
+  result.status = StatusCode::BadNotExecutable;
+  result.output_arguments = {Variant{std::int32_t{7}}};
+  resp.results.push_back(result);
+  const auto back_resp = unpack_service<CallResponse>(pack_service(resp));
+  ASSERT_EQ(back_resp.results.size(), 1u);
+  EXPECT_EQ(back_resp.results[0].status, StatusCode::BadNotExecutable);
+  EXPECT_EQ(back_resp.results[0].output_arguments[0], Variant{std::int32_t{7}});
+}
+
+TEST(WriteService, RequiresActivatedSession) {
+  WriteCallRig rig;
+  // New connection, channel only (no session).
+  auto conn = rig.net.connect(make_ipv4(10, 2, 0, 1), kOpcUaDefaultPort);
+  Client fresh(ClientConfig{}, *conn, Rng(5));
+  ASSERT_EQ(fresh.hello("opc.tcp://10.2.0.1:4840/"), StatusCode::Good);
+  ASSERT_EQ(fresh.open_channel(SecurityPolicy::None, MessageSecurityMode::None),
+            StatusCode::Good);
+  StatusCode node_status = StatusCode::Good;
+  EXPECT_EQ(fresh.write_value(NodeId(rig.ns, 2), Variant{1.0}, node_status),
+            StatusCode::BadSessionNotActivated);
+}
+
+// The decoders must reject garbage, never crash: every service decoder gets
+// random bytes thrown at it (robustness requirement for a scanner that
+// parses hostile input).
+class DecoderFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes junk = rng.bytes(rng.below(120));
+    try {
+      UaReader r(junk);
+      switch (GetParam() % 6) {
+        case 0: EndpointDescription::decode(r); break;
+        case 1: BrowseResponse::decode(r); break;
+        case 2: CreateSessionResponse::decode(r); break;
+        case 3: ReadResponse::decode(r); break;
+        case 4: UserIdentityToken::decode(r); break;
+        default: CallResponse::decode(r); break;
+      }
+    } catch (const DecodeError&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Services, DecoderFuzz, ::testing::Range(0, 12));
+
+TEST(FrameFuzz, RandomFramesNeverCrashServer) {
+  WriteCallRig rig;
+  auto handler = rig.server->accept();
+  Rng rng(999);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes junk = rng.bytes(rng.below(100));
+    // Must return an ERR frame or empty, never throw.
+    const Bytes reply = handler->on_frame(junk);
+    if (handler->closed()) {
+      handler = rig.server->accept();
+    }
+    (void)reply;
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace opcua_study

@@ -1,0 +1,228 @@
+// DER encoding and the X.509 subset: build → parse → verify round trips.
+#include <gtest/gtest.h>
+
+#include "crypto/batch_gcd.hpp"
+#include "crypto/x509.hpp"
+#include "util/date.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+namespace {
+
+const RsaKeyPair& cert_key() {
+  static const RsaKeyPair kp = [] {
+    Rng rng(2001);
+    return rsa_generate(rng, 768, 8);
+  }();
+  return kp;
+}
+
+TEST(Der, OidRoundTrip) {
+  const Oid o{{1, 2, 840, 113549, 1, 1, 11}};
+  EXPECT_EQ(o.to_string(), "1.2.840.113549.1.1.11");
+  EXPECT_EQ(Oid::decode_body(o.encode_body()), o);
+  const Oid san{{2, 5, 29, 17}};
+  EXPECT_EQ(Oid::decode_body(san.encode_body()), san);
+}
+
+TEST(Der, IntegerEncoding) {
+  DerWriter w;
+  w.integer(Bignum{127});
+  w.integer(Bignum{128});  // needs a leading zero byte
+  w.integer(Bignum{0});
+  DerParser p(w.bytes());
+  EXPECT_EQ(p.read_integer().low_u64(), 127u);
+  EXPECT_EQ(p.read_integer().low_u64(), 128u);
+  EXPECT_TRUE(p.read_integer().is_zero());
+  EXPECT_TRUE(p.done());
+}
+
+TEST(Der, LongFormLength) {
+  DerWriter w;
+  const Bytes big(300, 0xab);
+  w.octet_string(big);
+  DerParser p(w.bytes());
+  EXPECT_EQ(p.read_octet_string(), big);
+}
+
+TEST(Der, TimeEncodingBothForms) {
+  DerWriter w;
+  w.time(days_from_civil({2020, 8, 30}));
+  w.time(days_from_civil({2055, 1, 2}));  // GeneralizedTime territory
+  DerParser p(w.bytes());
+  EXPECT_EQ(p.read_time_days(), days_from_civil({2020, 8, 30}));
+  EXPECT_EQ(p.read_time_days(), days_from_civil({2055, 1, 2}));
+}
+
+TEST(Der, ParserRejectsTruncation) {
+  DerWriter w;
+  w.octet_string(Bytes(10, 1));
+  Bytes der = w.take();
+  der.pop_back();
+  DerParser p(der);
+  EXPECT_THROW(p.read_octet_string(), DecodeError);
+}
+
+CertificateSpec base_spec() {
+  CertificateSpec spec;
+  spec.subject = {"device-7", "Bachmann electronic", "AT"};
+  spec.signature_hash = HashAlgorithm::sha256;
+  spec.serial = Bignum{123456789};
+  spec.not_before_days = days_from_civil({2019, 5, 1});
+  spec.not_after_days = days_from_civil({2039, 5, 1});
+  spec.application_uri = "urn:device-7:bachmann:opcua";
+  return spec;
+}
+
+TEST(X509, SelfSignedRoundTrip) {
+  const auto& kp = cert_key();
+  const Bytes der = x509_create(base_spec(), kp.pub, kp.priv);
+  const Certificate cert = x509_parse(der);
+  EXPECT_EQ(cert.subject.common_name, "device-7");
+  EXPECT_EQ(cert.subject.organization, "Bachmann electronic");
+  EXPECT_EQ(cert.subject.country, "AT");
+  EXPECT_TRUE(cert.self_signed());
+  EXPECT_EQ(cert.signature_hash, HashAlgorithm::sha256);
+  EXPECT_EQ(cert.serial.low_u64(), 123456789u);
+  EXPECT_EQ(cert.not_before_days, days_from_civil({2019, 5, 1}));
+  EXPECT_EQ(cert.not_after_days, days_from_civil({2039, 5, 1}));
+  EXPECT_EQ(cert.application_uri, "urn:device-7:bachmann:opcua");
+  EXPECT_EQ(cert.public_key, kp.pub);
+  EXPECT_EQ(cert.key_bits(), 768u);
+  EXPECT_TRUE(x509_verify(cert, kp.pub));
+}
+
+class X509SignatureHashes : public ::testing::TestWithParam<HashAlgorithm> {};
+
+TEST_P(X509SignatureHashes, AllStudyHashesSupported) {
+  const auto& kp = cert_key();
+  CertificateSpec spec = base_spec();
+  spec.signature_hash = GetParam();
+  const Bytes der = x509_create(spec, kp.pub, kp.priv);
+  const Certificate cert = x509_parse(der);
+  EXPECT_EQ(cert.signature_hash, GetParam());
+  EXPECT_TRUE(x509_verify(cert, kp.pub));
+}
+
+INSTANTIATE_TEST_SUITE_P(Md5Sha1Sha256, X509SignatureHashes,
+                         ::testing::Values(HashAlgorithm::md5, HashAlgorithm::sha1,
+                                           HashAlgorithm::sha256));
+
+TEST(X509, CaSignedCertificateIsNotSelfSigned) {
+  Rng rng(2002);
+  const RsaKeyPair ca = rsa_generate(rng, 768, 8);
+  CertificateSpec spec = base_spec();
+  spec.issuer = X509Name{"Study CA", "CA Org", "DE"};
+  const Bytes der = x509_create(spec, cert_key().pub, ca.priv);
+  const Certificate cert = x509_parse(der);
+  EXPECT_FALSE(cert.self_signed());
+  EXPECT_EQ(cert.issuer.common_name, "Study CA");
+  EXPECT_TRUE(x509_verify(cert, ca.pub));
+  EXPECT_FALSE(x509_verify(cert, cert_key().pub));
+}
+
+TEST(X509, TamperedCertificateFailsVerification) {
+  const auto& kp = cert_key();
+  Bytes der = x509_create(base_spec(), kp.pub, kp.priv);
+  Certificate cert = x509_parse(der);
+  cert.tbs_der[40] ^= 1;
+  EXPECT_FALSE(x509_verify(cert, kp.pub));
+}
+
+TEST(X509, ThumbprintIsSha1OfDer) {
+  const auto& kp = cert_key();
+  const Bytes der = x509_create(base_spec(), kp.pub, kp.priv);
+  EXPECT_EQ(x509_thumbprint(der), hash(HashAlgorithm::sha1, der));
+  EXPECT_EQ(x509_thumbprint(der).size(), 20u);
+}
+
+TEST(X509, ParseRejectsGarbage) {
+  EXPECT_THROW(x509_parse(Bytes{}), DecodeError);
+  EXPECT_THROW(x509_parse(Bytes(50, 0xff)), DecodeError);
+  const auto& kp = cert_key();
+  Bytes der = x509_create(base_spec(), kp.pub, kp.priv);
+  der.resize(der.size() / 2);
+  EXPECT_THROW(x509_parse(der), DecodeError);
+}
+
+TEST(X509, EmptySanOmitted) {
+  const auto& kp = cert_key();
+  CertificateSpec spec = base_spec();
+  spec.application_uri.clear();
+  const Certificate cert = x509_parse(x509_create(spec, kp.pub, kp.priv));
+  EXPECT_TRUE(cert.application_uri.empty());
+}
+
+// --------------------------------------------------------- batch GCD ----
+
+std::vector<Bignum> make_moduli(int count, std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bignum> out;
+  std::vector<Bignum> primes;
+  for (int i = 0; i < count + 1; ++i) primes.push_back(Bignum::generate_prime(rng, bits, 6));
+  for (int i = 0; i < count; ++i) out.push_back(primes[static_cast<std::size_t>(i)] *
+                                                primes[static_cast<std::size_t>(i) + 1]);
+  return out;  // chain: consecutive moduli share a prime
+}
+
+TEST(BatchGcd, DetectsInjectedSharedPrimes) {
+  const auto moduli = make_moduli(8, 96, 3001);
+  const auto result = batch_gcd(moduli);
+  EXPECT_EQ(result.affected(), 8u);  // every modulus shares with a neighbour
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    ASSERT_FALSE(result.shared_factor[i].is_zero());
+    EXPECT_TRUE((moduli[i] % result.shared_factor[i]).is_zero());
+  }
+}
+
+TEST(BatchGcd, CleanCorpusHasNoFindings) {
+  Rng rng(3002);
+  std::vector<Bignum> moduli;
+  for (int i = 0; i < 12; ++i) {
+    const Bignum p = Bignum::generate_prime(rng, 96, 6);
+    const Bignum q = Bignum::generate_prime(rng, 96, 6);
+    moduli.push_back(p * q);
+  }
+  EXPECT_EQ(batch_gcd(moduli).affected(), 0u);
+}
+
+TEST(BatchGcd, MatchesPairwiseReference) {
+  Rng rng(3003);
+  std::vector<Bignum> moduli;
+  const Bignum shared = Bignum::generate_prime(rng, 80, 6);
+  for (int i = 0; i < 9; ++i) {
+    const Bignum q = Bignum::generate_prime(rng, 80, 6);
+    if (i % 3 == 0) {
+      moduli.push_back(shared * q);
+    } else {
+      moduli.push_back(Bignum::generate_prime(rng, 80, 6) * q);
+    }
+  }
+  const auto fast = batch_gcd(moduli);
+  const auto ref = pairwise_gcd(moduli);
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    EXPECT_EQ(fast.shared_factor[i].is_zero(), ref.shared_factor[i].is_zero()) << i;
+  }
+  EXPECT_EQ(fast.affected(), 3u);
+}
+
+TEST(BatchGcd, DuplicateModuliAreFlagged) {
+  Rng rng(3004);
+  const Bignum p = Bignum::generate_prime(rng, 80, 6);
+  const Bignum q = Bignum::generate_prime(rng, 80, 6);
+  const Bignum r = Bignum::generate_prime(rng, 80, 6);
+  const Bignum s = Bignum::generate_prime(rng, 80, 6);
+  const std::vector<Bignum> moduli = {p * q, p * q, r * s};
+  const auto result = batch_gcd(moduli);
+  EXPECT_FALSE(result.shared_factor[0].is_zero());
+  EXPECT_FALSE(result.shared_factor[1].is_zero());
+  EXPECT_TRUE(result.shared_factor[2].is_zero());
+}
+
+TEST(BatchGcd, TrivialSizes) {
+  EXPECT_EQ(batch_gcd({}).affected(), 0u);
+  EXPECT_EQ(batch_gcd({Bignum{15}}).affected(), 0u);
+}
+
+}  // namespace
+}  // namespace opcua_study
