@@ -3,6 +3,12 @@
 // times reproduce the paper's reported scale (avg 110 s); with pacing off,
 // the same traversals finish orders of magnitude faster, which is exactly
 // the behaviour the guidelines forbid against resource-constrained devices.
+//
+// A second ablation covers the *campaign* dimension: pacing politely is only
+// compatible with the paper's 24 h scan window because thousands of hosts
+// are in flight at once — scanned lock-step, the same polite sweep would
+// need days of scan time. The interleaved engine reproduces that window
+// compression.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -41,11 +47,12 @@ TrafficStats traffic_of(const ScanSnapshot& snapshot) {
 int main() {
   const TrafficStats polite = traffic_of(bench::final_snapshot());
 
-  std::fprintf(stderr, "[bench] running the pacing-off ablation scan...\n");
   StudyConfig config;
   config.seed = bench::kStudySeed;
-  // Same world, pacing disabled (ablation: what the guidelines prevent).
-  const ScanSnapshot impolite = [&] {
+  // One fresh week-7 world + campaign per ablation; `mutate` tweaks the
+  // campaign config, the result carries the snapshot and the simulated
+  // campaign window in hours.
+  const auto run_fresh_campaign = [&config](auto&& mutate) {
     const PopulationPlan plan = build_population_plan(config.seed);
     DeployConfig deploy_config;
     deploy_config.seed = config.seed;
@@ -58,10 +65,17 @@ int main() {
     campaign_config.seed = config.seed;
     campaign_config.exclusions = deployer.exclusion_list();
     campaign_config.grabber.client = make_scanner_identity(config.seed, keys);
-    campaign_config.grabber.budget.inter_request_ms = 0;
+    mutate(campaign_config);
     Campaign campaign(campaign_config, net);
-    return campaign.run(7);
-  }();
+    ScanSnapshot snapshot = campaign.run(7);
+    return std::make_pair(std::move(snapshot),
+                          static_cast<double>(net.clock().now_us()) / 3.6e9);
+  };
+
+  std::fprintf(stderr, "[bench] running the pacing-off ablation scan...\n");
+  // Same world, pacing disabled (ablation: what the guidelines prevent).
+  const ScanSnapshot impolite =
+      run_fresh_campaign([](CampaignConfig& c) { c.grabber.budget.inter_request_ms = 0; }).first;
   const TrafficStats rude = traffic_of(impolite);
 
   std::puts("Ablation: scanner politeness (500 ms pacing + 60 min / 50 MB caps)\n");
@@ -94,5 +108,33 @@ int main() {
        polite.avg_duration / std::max(rude.avg_duration, 1e-9) > 5},
   };
   std::fputs(render_comparison("Scanner ethics (§A.2) vs paper", rows).c_str(), stdout);
+
+  // ---- campaign scheduling ablation: lock-step vs interleaved scan window.
+  std::fprintf(stderr, "[bench] measuring the interleaved scan window (fresh campaign)...\n");
+  // Pacing on, default max_in_flight = 256.
+  const double interleaved_hours = run_fresh_campaign([](CampaignConfig&) {}).second;
+  // Scanned one host at a time, the polite sweep needs at least the sum of
+  // the per-host connection times.
+  const double lock_step_hours = polite.avg_duration * polite.hosts / 3600.0;
+
+  std::puts("\nAblation: campaign scheduling (lock-step vs 256 hosts in flight)\n");
+  TextTable window;
+  window.set_header({"schedule", "simulated scan window"});
+  window.add_row({"lock-step, one host at a time (lower bound)",
+                  fmt_double(lock_step_hours, 1) + " h"});
+  window.add_row({"interleaved, 256 in flight", fmt_double(interleaved_hours, 1) + " h"});
+  std::fputs(window.str().c_str(), stdout);
+
+  std::vector<ComparisonRow> window_rows = {
+      {"polite weekly sweep fits the paper's scan window", "<= 24 h",
+       fmt_double(interleaved_hours, 1) + " h", interleaved_hours <= 24.0},
+      // Lock-step, the polite sweep consumes nearly the whole window for
+      // ~1/20 of the paper's server population — interleaving is what makes
+      // polite Internet-wide scanning feasible at all.
+      {"interleaving compresses the scan window", "> 20x",
+       fmt_double(lock_step_hours / std::max(interleaved_hours, 1e-9), 0) + "x",
+       lock_step_hours > 20 * interleaved_hours},
+  };
+  std::fputs(render_comparison("Scan window (§A.2) vs paper", window_rows).c_str(), stdout);
   return 0;
 }

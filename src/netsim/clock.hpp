@@ -21,6 +21,10 @@ class SimClock {
 
   void advance_us(std::uint64_t us) { micros_ += us; }
   void advance_ms(std::uint64_t ms) { micros_ += ms * 1000; }
+  /// Move forward to an absolute timestamp; never goes backwards.
+  void advance_to(std::uint64_t us) {
+    if (us > micros_) micros_ = us;
+  }
 
   std::uint64_t now_us() const { return micros_; }
   double now_seconds() const { return static_cast<double>(micros_) / 1e6; }

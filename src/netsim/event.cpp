@@ -1,0 +1,32 @@
+#include "netsim/event.hpp"
+
+#include <algorithm>
+
+namespace opcua_study {
+
+void EventScheduler::schedule_at(std::uint64_t at_us, Callback fn) {
+  heap_.push_back(Event{std::max(at_us, clock_.now_us()), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventScheduler::schedule_in(std::uint64_t delay_us, Callback fn) {
+  schedule_at(clock_.now_us() + delay_us, std::move(fn));
+}
+
+bool EventScheduler::run_next() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  clock_.advance_to(event.at_us);
+  event.fn();
+  return true;
+}
+
+std::size_t EventScheduler::run_until_idle() {
+  std::size_t executed = 0;
+  while (run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace opcua_study

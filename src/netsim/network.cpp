@@ -33,14 +33,16 @@ bool Network::syn_probe(Ipv4 ip, std::uint16_t port) {
   return is_listening(ip, port);
 }
 
-std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port) {
+std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port, ConnMode mode) {
   const auto it = listeners_.find(key(ip, port));
   if (it == listeners_.end()) {
-    clock_.advance_us(rtt_us(ip));  // RST after one RTT
+    if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // RST after one RTT
     return nullptr;
   }
-  clock_.advance_us(rtt_us(ip));  // three-way handshake
-  return std::make_unique<NetConnection>(*this, ip, it->second());
+  if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // three-way handshake
+  auto conn = std::make_unique<NetConnection>(*this, ip, it->second(), mode);
+  if (mode == ConnMode::Deferred) conn->charge(rtt_us(ip));  // handshake, deferred
+  return conn;
 }
 
 std::vector<std::pair<Ipv4, std::uint16_t>> Network::bound_endpoints() const {
@@ -52,8 +54,17 @@ std::vector<std::pair<Ipv4, std::uint16_t>> Network::bound_endpoints() const {
   return out;
 }
 
-NetConnection::NetConnection(Network& net, Ipv4 peer, std::unique_ptr<ConnectionHandler> handler)
-    : net_(net), peer_(peer), handler_(std::move(handler)) {}
+NetConnection::NetConnection(Network& net, Ipv4 peer, std::unique_ptr<ConnectionHandler> handler,
+                             ConnMode mode)
+    : net_(net), peer_(peer), handler_(std::move(handler)), mode_(mode) {}
+
+void NetConnection::charge(std::uint64_t us) {
+  if (mode_ == ConnMode::Deferred) {
+    deferred_elapsed_us_ += us;
+  } else {
+    net_.clock_.advance_us(us);
+  }
+}
 
 Bytes NetConnection::roundtrip(const Bytes& request) {
   if (handler_ == nullptr || handler_->closed()) {
@@ -61,7 +72,7 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
   }
   bytes_sent_ += request.size();
   net_.total_bytes_sent_ += request.size();
-  net_.clock_.advance_us(net_.rtt_us(peer_) + request.size() / 10);  // ~10 MB/s path
+  charge(net_.rtt_us(peer_) + request.size() / 10);  // ~10 MB/s path
   Bytes response = handler_->on_message(request);
   if (response.empty()) {
     handler_.reset();
@@ -69,7 +80,7 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
   }
   bytes_received_ += response.size();
   net_.total_bytes_received_ += response.size();
-  net_.clock_.advance_us(response.size() / 10);
+  charge(response.size() / 10);
   return response;
 }
 
@@ -77,7 +88,7 @@ void NetConnection::send_oneway(const Bytes& message) {
   if (handler_ == nullptr) return;
   bytes_sent_ += message.size();
   net_.total_bytes_sent_ += message.size();
-  net_.clock_.advance_us(net_.rtt_us(peer_) / 2);
+  charge(net_.rtt_us(peer_) / 2);
   handler_->on_message(message);
 }
 

@@ -1,9 +1,17 @@
 // The simulated IPv4 Internet.
 //
 // Hosts register listeners on (ip, port); the scanner probes and connects
-// exactly as zmap/zgrab2 would. Connections are lock-step request/response
-// byte pipes with a per-path RTT model and per-connection byte accounting
-// (the paper reports 352 kB average outgoing traffic per host, §A.2).
+// exactly as zmap/zgrab2 would. Connections are request/response byte pipes
+// with a per-path RTT model and per-connection byte accounting (the paper
+// reports 352 kB average outgoing traffic per host, §A.2).
+//
+// Two clock modes exist per connection (see DESIGN.md):
+//  - Blocking: every roundtrip advances the global SimClock — the legacy
+//    lock-step model, still used by single-host tools.
+//  - Deferred: roundtrips charge their simulated cost (RTT + transfer time)
+//    to a per-connection accumulator instead, so many connections can have
+//    requests in flight at once; the scan engine turns those costs into
+//    timed events on the Network's EventScheduler.
 #pragma once
 
 #include <functional>
@@ -12,6 +20,7 @@
 
 #include "netsim/asdb.hpp"
 #include "netsim/clock.hpp"
+#include "netsim/event.hpp"
 #include "opcua/transport.hpp"
 #include "util/ipv4.hpp"
 
@@ -30,11 +39,20 @@ using HandlerFactory = std::function<std::unique_ptr<ConnectionHandler>()>;
 
 class NetConnection;
 
+/// How a connection charges simulated time (see file comment).
+enum class ConnMode { Blocking, Deferred };
+
 class Network {
  public:
   Network();
 
+  // The scheduler holds a reference to clock_; copying would leave it
+  // pointed at the original's clock.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   SimClock& clock() { return clock_; }
+  EventScheduler& scheduler() { return scheduler_; }
   AsDatabase& as_db() { return as_db_; }
   const AsDatabase& as_db() const { return as_db_; }
 
@@ -45,8 +63,13 @@ class Network {
   /// SYN probe: advances the clock by the path RTT; true = SYN-ACK.
   bool syn_probe(Ipv4 ip, std::uint16_t port);
 
-  /// TCP connect; nullptr when the port is closed.
-  std::unique_ptr<NetConnection> connect(Ipv4 ip, std::uint16_t port);
+  /// TCP connect; nullptr when the port is closed. Blocking mode advances
+  /// the global clock by the handshake RTT (and by the RST RTT on refusal);
+  /// Deferred mode charges the handshake to the connection's accumulator
+  /// and leaves the global clock untouched — a refused deferred connect
+  /// charges nothing, the caller accounts the RST RTT itself.
+  std::unique_ptr<NetConnection> connect(Ipv4 ip, std::uint16_t port,
+                                         ConnMode mode = ConnMode::Blocking);
 
   /// All bound (ip, port) pairs — the "oracle sweep" ground truth used by
   /// the benches in place of a multi-minute 2^32 LFSR walk (see DESIGN.md).
@@ -66,6 +89,7 @@ class Network {
   }
 
   SimClock clock_;
+  EventScheduler scheduler_{clock_};
   AsDatabase as_db_;
   std::unordered_map<std::uint64_t, HandlerFactory> listeners_;
   std::uint64_t total_bytes_sent_ = 0;
@@ -76,7 +100,8 @@ class Network {
 /// MessageTransport with clock + byte accounting.
 class NetConnection : public MessageTransport {
  public:
-  NetConnection(Network& net, Ipv4 peer, std::unique_ptr<ConnectionHandler> handler);
+  NetConnection(Network& net, Ipv4 peer, std::unique_ptr<ConnectionHandler> handler,
+                ConnMode mode = ConnMode::Blocking);
 
   Bytes roundtrip(const Bytes& request) override;
   void send_oneway(const Bytes& message) override;
@@ -87,12 +112,27 @@ class NetConnection : public MessageTransport {
   bool peer_closed() const { return handler_ == nullptr || handler_->closed(); }
   Ipv4 peer() const { return peer_; }
 
+  ConnMode mode() const { return mode_; }
+  /// Deferred mode: simulated time charged since the last take. The scan
+  /// engine drains this after every protocol exchange and converts it into
+  /// event-heap wake-ups.
+  std::uint64_t take_elapsed() {
+    const std::uint64_t elapsed = deferred_elapsed_us_;
+    deferred_elapsed_us_ = 0;
+    return elapsed;
+  }
+
  private:
+  friend class Network;  // pre-charges the deferred handshake RTT
+  void charge(std::uint64_t us);
+
   Network& net_;
   Ipv4 peer_;
   std::unique_ptr<ConnectionHandler> handler_;
+  ConnMode mode_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+  std::uint64_t deferred_elapsed_us_ = 0;
 };
 
 /// A non-OPC-UA service occupying port 4840 (the paper: only 0.5 ‰ of hosts

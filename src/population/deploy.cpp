@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "crypto/x509.hpp"
 #include "netsim/opcua_service.hpp"
@@ -23,7 +24,35 @@ Ipv4 as_base(std::uint32_t asn) {
 }  // namespace
 
 Deployer::Deployer(const PopulationPlan& plan, DeployConfig config)
-    : plan_(plan), config_(config), keys_(config.seed, config.key_cache_path) {}
+    : plan_(plan), config_(config), keys_(config.seed, config.key_cache_path) {
+  // Union-find over discovery references: a discovery server must share a
+  // shard with every host it points at (see ShardSpec).
+  for (const auto& host : plan_.hosts) component_[host.index] = host.index;
+  const std::function<int(int)> find = [&](int index) {
+    int root = index;
+    while (component_[root] != root) root = component_[root];
+    while (component_[index] != root) {
+      const int next = component_[index];
+      component_[index] = root;
+      index = next;
+    }
+    return root;
+  };
+  for (const auto& [ds_index, target_index] : plan_.discovery_references) {
+    if (!component_.contains(ds_index) || !component_.contains(target_index)) continue;
+    const int a = find(ds_index);
+    const int b = find(target_index);
+    if (a != b) component_[std::max(a, b)] = std::min(a, b);  // smallest index wins
+  }
+  for (const auto& host : plan_.hosts) component_[host.index] = find(host.index);
+}
+
+int Deployer::shard_of(const HostPlan& host, int shard_count) const {
+  if (shard_count <= 1) return 0;
+  const auto it = component_.find(host.index);
+  const int root = it != component_.end() ? it->second : host.index;
+  return root % shard_count;
+}
 
 Ipv4 Deployer::ip_of(const HostPlan& host, int week) const {
   if (host.dynamic_ip) {
@@ -240,7 +269,7 @@ ServerConfig Deployer::server_config(const HostPlan& host, int week) {
   return config;
 }
 
-void Deployer::deploy_week(Network& net, int week) {
+void Deployer::deploy_week(Network& net, int week, const ShardSpec& shard) {
   // AS database.
   for (std::uint32_t asn = 64500; asn <= 64530; ++asn) {
     std::string name = "Transit-" + std::to_string(asn);
@@ -257,6 +286,7 @@ void Deployer::deploy_week(Network& net, int week) {
 
   for (const auto& host : plan_.hosts) {
     if (!host.present_in_week(week)) continue;
+    if (shard_of(host, shard.count) != shard.index) continue;
     ServerConfig config = server_config(host, week);
     if (host.discovery) {
       // Attach foreign endpoints for every referenced host present this week.
@@ -283,8 +313,16 @@ void Deployer::deploy_week(Network& net, int week) {
   Rng dummy_rng = Rng(config_.seed).child("dummies");
   const char* banners[] = {"nginx", "lighttpd", "Microsoft-IIS/8.5", "BusyBox httpd", "mini_httpd"};
   for (int i = 0; i < config_.dummy_hosts; ++i) {
+    // Draw ip + banner for every index regardless of shard so the RNG
+    // stream — and therefore each dummy's address — is partition-invariant.
     const Ipv4 ip = kDummyBase + static_cast<Ipv4>(dummy_rng.below(1u << 24));
     const std::string banner = banners[dummy_rng.below(5)];
+    // Deal dummies by *address*, not index: colliding draws then land in
+    // the same shard, where listen() overwrites — the same dedup a single
+    // Network applies — keeping sweep counters shard-count-invariant.
+    if (shard.count > 1 && static_cast<int>(ip % static_cast<Ipv4>(shard.count)) != shard.index) {
+      continue;
+    }
     net.listen(ip, kOpcUaDefaultPort, [banner]() -> std::unique_ptr<ConnectionHandler> {
       return std::make_unique<DummyBannerService>(banner);
     });

@@ -32,12 +32,27 @@ struct DeployConfig {
   std::string key_cache_path = KeyFactory::default_cache_path();
 };
 
+/// One partition of the simulated universe. The sharded study runner gives
+/// every shard its own Network (and worker thread); hosts are assigned by
+/// discovery-reference closure so a discovery server and every host it
+/// references always land in the same shard — reference-following never
+/// crosses a partition boundary.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
+
 class Deployer {
  public:
   Deployer(const PopulationPlan& plan, DeployConfig config);
 
-  /// Register every host present in `week` (plus dummies) on `net`.
-  void deploy_week(Network& net, int week);
+  /// Register every host present in `week` (plus dummies) on `net`,
+  /// restricted to the given shard. The default spec deploys everything.
+  void deploy_week(Network& net, int week, const ShardSpec& shard = {});
+
+  /// Shard a host belongs to under a `shard_count`-way partition
+  /// (reference-closure component representative modulo shard count).
+  int shard_of(const HostPlan& host, int shard_count) const;
 
   Ipv4 ip_of(const HostPlan& host, int week) const;
   /// The scan exclusion list (paper §A.2: 5.79 M opted-out addresses).
@@ -56,6 +71,8 @@ class Deployer {
   KeyFactory keys_;
   std::map<std::string, RsaKeyPair> key_memo_;
   std::map<std::pair<int, std::pair<int, bool>>, Bytes> cert_memo_;  // (host,(week,dual))
+  /// host index -> smallest host index in its discovery-reference component.
+  std::map<int, int> component_;
 };
 
 /// AS numbering used by the population (§B.1.2 narrative).

@@ -16,13 +16,7 @@ bool Campaign::excluded(Ipv4 ip) const {
                      [ip](const Cidr& c) { return c.contains(ip); });
 }
 
-ScanSnapshot Campaign::run(int measurement_index) {
-  ScanSnapshot snapshot;
-  snapshot.measurement_index = measurement_index;
-  snapshot.date_days = measurement_days(measurement_index);
-  network_.clock().reset(snapshot.date_days);
-
-  // Phase 1: port sweep.
+std::vector<Ipv4> Campaign::sweep(ScanSnapshot& snapshot, int measurement_index) {
   std::vector<Ipv4> open_hosts;
   if (config_.oracle_sweep) {
     auto endpoints = network_.bound_endpoints();
@@ -40,37 +34,58 @@ ScanSnapshot Campaign::run(int measurement_index) {
       if (network_.syn_probe(ip, config_.port)) open_hosts.push_back(ip);
     }
   } else {
-    AddressSweep sweep(config_.universe, config_.seed + static_cast<std::uint64_t>(measurement_index));
+    AddressSweep sweep(config_.universe,
+                       config_.seed + static_cast<std::uint64_t>(measurement_index));
     while (auto ip = sweep.next()) {
       if (excluded(*ip)) continue;
       ++snapshot.probes_sent;
       if (network_.syn_probe(*ip, config_.port)) open_hosts.push_back(*ip);
     }
   }
+  return open_hosts;
+}
+
+ScanSnapshot Campaign::run(int measurement_index) {
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = measurement_index;
+  snapshot.date_days = measurement_days(measurement_index);
+  network_.clock().reset(snapshot.date_days);
+
+  // Phase 1: port sweep.
+  const std::vector<Ipv4> open_hosts = sweep(snapshot, measurement_index);
   snapshot.tcp_open_count = open_hosts.size();
 
-  // Phase 2: application-layer grab of every open host.
-  Grabber grabber(config_.grabber, network_,
-                  config_.seed * 1000003 + static_cast<std::uint64_t>(measurement_index));
+  // Phase 2: interleaved application-layer grab of every open host. The
+  // scheduler keeps max_in_flight hosts active; ids continue across waves
+  // exactly like the old per-campaign grab counter.
+  ScanScheduler scheduler(config_.grabber, network_,
+                          config_.seed * 1000003 + static_cast<std::uint64_t>(measurement_index),
+                          config_.max_in_flight);
+  for (Ipv4 ip : open_hosts) scheduler.enqueue(ip, config_.port);
+  std::vector<HostScanRecord> records = scheduler.drain();
+
   std::set<std::pair<Ipv4, std::uint16_t>> scanned;
   std::vector<std::pair<Ipv4, std::uint16_t>> referenced;
-  for (Ipv4 ip : open_hosts) {
-    HostScanRecord record = grabber.grab(ip, config_.port);
-    scanned.insert({ip, config_.port});
+  for (Ipv4 ip : open_hosts) scanned.insert({ip, config_.port});
+  for (auto& record : records) {
     for (const auto& target : record.referenced_targets) referenced.push_back(target);
     if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));
   }
 
-  // Phase 3: follow references to other host/port combinations
-  // (the paper enabled this as of 2020-05-04 = measurement index 3).
+  // Phase 3: feed references to other host/port combinations back into the
+  // scheduler (the paper enabled this as of 2020-05-04 = measurement 3).
   const bool follow = config_.follow_references && measurement_index >= 3;
   if (follow) {
     std::sort(referenced.begin(), referenced.end());
     referenced.erase(std::unique(referenced.begin(), referenced.end()), referenced.end());
-    for (const auto& [ip, port] : referenced) {
-      if (excluded(ip) || scanned.contains({ip, port})) continue;
-      scanned.insert({ip, port});
-      HostScanRecord record = grabber.grab(ip, port);
+    std::vector<std::pair<Ipv4, std::uint16_t>> wave;
+    for (const auto& target : referenced) {
+      if (excluded(target.first) || scanned.contains(target)) continue;
+      scanned.insert(target);
+      wave.push_back(target);
+    }
+    for (const auto& [ip, port] : wave) scheduler.enqueue(ip, port);
+    for (auto& record : scheduler.drain()) {
       record.found_via_reference = true;
       if (record.tcp_open) ++snapshot.tcp_open_count;
       if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));

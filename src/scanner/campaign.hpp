@@ -1,9 +1,10 @@
-// A weekly measurement: sweep → grab → follow references.
+// A weekly measurement: sweep → interleaved grab wave → follow references.
 #pragma once
 
 #include "scanner/grabber.hpp"
 #include "scanner/lfsr.hpp"
 #include "scanner/record.hpp"
+#include "scanner/scheduler.hpp"
 
 namespace opcua_study {
 
@@ -21,6 +22,9 @@ struct CampaignConfig {
   /// enabled this with the 2020-05-04 measurement.
   bool follow_references = true;
   GrabberConfig grabber;
+  /// Hosts concurrently in flight in the grab engine. 1 degenerates to the
+  /// old lock-step scanner; records are identical either way (DESIGN.md).
+  std::size_t max_in_flight = 256;
   std::uint64_t seed = 1;
 };
 
@@ -35,6 +39,8 @@ class Campaign {
   bool excluded(Ipv4 ip) const;
 
  private:
+  std::vector<Ipv4> sweep(ScanSnapshot& snapshot, int measurement_index);
+
   CampaignConfig config_;
   Network& network_;
 };

@@ -1,240 +1,21 @@
 #include "scanner/grabber.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <set>
+#include "scanner/host_task.hpp"
 
 namespace opcua_study {
-
-namespace {
-
-/// Parse "opc.tcp://a.b.c.d:port/..." into (ip, port).
-std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url) {
-  constexpr std::string_view kScheme = "opc.tcp://";
-  if (url.rfind(kScheme, 0) != 0) return std::nullopt;
-  std::string rest = url.substr(kScheme.size());
-  const auto slash = rest.find('/');
-  if (slash != std::string::npos) rest = rest.substr(0, slash);
-  const auto colon = rest.find(':');
-  std::uint16_t port = kOpcUaDefaultPort;
-  std::string host = rest;
-  if (colon != std::string::npos) {
-    host = rest.substr(0, colon);
-    try {
-      port = static_cast<std::uint16_t>(std::stoi(rest.substr(colon + 1)));
-    } catch (const std::exception&) {
-      return std::nullopt;
-    }
-  }
-  try {
-    return std::make_pair(parse_ipv4(host), port);
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;  // hostname-based URL; the study follows IPs only
-  }
-}
-
-}  // namespace
 
 Grabber::Grabber(GrabberConfig config, Network& network, std::uint64_t seed)
     : config_(std::move(config)), network_(network), seed_(seed) {}
 
 HostScanRecord Grabber::grab(Ipv4 ip, std::uint16_t port) {
-  HostScanRecord record;
-  record.ip = ip;
-  record.port = port;
-  record.asn = network_.as_db().asn_of(ip);
   ++grab_counter_;
-
-  const std::uint64_t started_us = network_.clock().now_us();
-  auto conn = network_.connect(ip, port);
-  if (!conn) return record;
-  record.tcp_open = true;
-
-  const std::string url = "opc.tcp://" + format_ipv4(ip) + ":" + std::to_string(port) + "/";
-  Client client(config_.client, *conn,
-                Rng(seed_).child("grab-" + std::to_string(grab_counter_)));
-  if (client.hello(url) != StatusCode::Good) {
-    record.duration_seconds =
-        static_cast<double>(network_.clock().now_us() - started_us) / 1e6;
-    return record;  // not an OPC UA speaker
+  HostGrabTask task(config_, network_, seed_, grab_counter_, ip, port);
+  for (;;) {
+    const HostGrabTask::Step step = task.step();
+    network_.clock().advance_us(step.wait_us);
+    if (step.done) break;
   }
-  if (client.open_channel(SecurityPolicy::None, MessageSecurityMode::None) != StatusCode::Good) {
-    return record;
-  }
-  std::vector<EndpointDescription> endpoints;
-  if (client.get_endpoints(url, endpoints) != StatusCode::Good) return record;
-  record.speaks_opcua = true;
-
-  for (const auto& ep : endpoints) {
-    const auto target = parse_opc_url(ep.endpoint_url);
-    const bool foreign = target && (target->first != ip || target->second != port);
-    if (foreign) {
-      record.referenced_targets.push_back(*target);
-      continue;
-    }
-    EndpointObservation obs;
-    obs.url = ep.endpoint_url;
-    obs.mode = ep.security_mode;
-    obs.policy_uri = ep.security_policy_uri;
-    if (const auto policy = policy_from_uri(ep.security_policy_uri)) {
-      obs.policy = *policy;
-      obs.policy_known = true;
-    }
-    for (const auto& token : ep.user_identity_tokens) obs.token_types.push_back(token.token_type);
-    obs.certificate_der = ep.server_certificate;
-    record.endpoints.push_back(std::move(obs));
-    if (record.application_uri.empty()) {
-      record.application_uri = ep.server.application_uri;
-      record.product_uri = ep.server.product_uri;
-      record.application_name = ep.server.application_name.text;
-      record.application_type = ep.server.application_type;
-    }
-  }
-  record.bytes_sent += conn->bytes_sent();
-  client.close_channel();
-  conn.reset();
-
-  for (const auto& ep : record.endpoints) {
-    for (UserTokenType t : ep.token_types) {
-      if (t == UserTokenType::Anonymous) record.anonymous_offered = true;
-    }
-  }
-
-  if (!record.endpoints.empty() && !record.is_discovery_server()) {
-    assess_channel_and_session(record);
-  }
-  record.duration_seconds = static_cast<double>(network_.clock().now_us() - started_us) / 1e6;
-  return record;
-}
-
-void Grabber::assess_channel_and_session(HostScanRecord& record) {
-  // Pick the strongest advertised (mode, policy) endpoint — the paper's
-  // scanner presents its self-signed certificate whenever Sign or
-  // SignAndEncrypt is offered.
-  const EndpointObservation* best = nullptr;
-  for (const auto& ep : record.endpoints) {
-    if (!ep.policy_known) continue;
-    if (best == nullptr ||
-        security_mode_rank(ep.mode) > security_mode_rank(best->mode) ||
-        (security_mode_rank(ep.mode) == security_mode_rank(best->mode) &&
-         policy_info(ep.policy).rank > policy_info(best->policy).rank)) {
-      best = &ep;
-    }
-  }
-  if (best == nullptr) return;
-
-  const std::uint64_t started_us = network_.clock().now_us();
-  auto conn = network_.connect(record.ip, record.port);
-  if (!conn) return;
-  const std::string url =
-      "opc.tcp://" + format_ipv4(record.ip) + ":" + std::to_string(record.port) + "/";
-  Client client(config_.client, *conn,
-                Rng(seed_).child("sess-" + std::to_string(grab_counter_)));
-  if (client.hello(url) != StatusCode::Good) return;
-
-  const StatusCode channel_status = client.open_channel(best->policy, best->mode,
-                                                        best->certificate_der);
-  record.channel_policy = best->policy;
-  record.channel_mode = best->mode;
-  if (is_bad(channel_status)) {
-    record.channel = best->policy == SecurityPolicy::None ? ChannelOutcome::failed
-                                                          : ChannelOutcome::cert_rejected;
-    record.session = SessionOutcome::channel_rejected;
-    record.bytes_sent += conn->bytes_sent();
-    return;
-  }
-  record.channel = ChannelOutcome::established;
-
-  // Attempt an anonymous session on every reachable server: servers without
-  // an anonymous token reject it, which is exactly the paper's
-  // "unaccessible, reason: authentication" population (Table 2).
-  Client::SessionInfo info;
-  StatusCode status = client.create_session(&info);
-  record.server_signature_valid = info.server_signature_valid;
-  if (is_good(status)) status = client.activate_session_anonymous();
-  if (is_bad(status)) {
-    record.session = SessionOutcome::auth_rejected;
-    record.bytes_sent += conn->bytes_sent();
-    return;
-  }
-  record.session = SessionOutcome::accessible;
-
-  // Read namespaces (classification input) and software version (§5.5).
-  network_.clock().advance_ms(config_.budget.inter_request_ms);
-  std::vector<std::string> namespaces;
-  if (client.read_string_array(node_ids::kNamespaceArray, namespaces) == StatusCode::Good) {
-    record.namespaces = std::move(namespaces);
-  }
-  network_.clock().advance_ms(config_.budget.inter_request_ms);
-  DataValue sv;
-  if (client.read(node_ids::kSoftwareVersion, AttributeId::Value, sv) == StatusCode::Good &&
-      sv.value.is<std::string>()) {
-    record.software_version = sv.value.as<std::string>();
-  }
-
-  if (config_.traverse_address_space) traverse(record, client, *conn, started_us);
-  record.bytes_sent += conn->bytes_sent();
-  client.close_channel();
-}
-
-void Grabber::traverse(HostScanRecord& record, Client& client, NetConnection& conn,
-                       std::uint64_t started_us) {
-  // Breadth-first walk from the Objects folder, reading the anonymous
-  // user's access rights for every variable/method. The scanner never
-  // writes and never calls: rights are read from UserAccessLevel /
-  // UserExecutable attributes (paper §A.1).
-  std::deque<NodeId> queue = {node_ids::kObjectsFolder};
-  std::set<NodeId> visited = {node_ids::kObjectsFolder};
-
-  auto budget_exhausted = [&] {
-    const double elapsed_s =
-        static_cast<double>(network_.clock().now_us() - started_us) / 1e6;
-    if (elapsed_s > static_cast<double>(config_.budget.max_host_seconds) ||
-        conn.bytes_sent() > config_.budget.max_host_bytes) {
-      record.traversal_truncated = true;
-      return true;
-    }
-    return false;
-  };
-
-  while (!queue.empty()) {
-    if (budget_exhausted()) return;
-    const NodeId node = queue.front();
-    queue.pop_front();
-
-    network_.clock().advance_ms(config_.budget.inter_request_ms);
-    std::vector<ReferenceDescription> refs;
-    if (client.browse(node, refs, config_.browse_chunk) != StatusCode::Good) continue;
-
-    for (const auto& ref : refs) {
-      if (!visited.insert(ref.node_id).second) continue;
-      NodeObservation obs;
-      obs.browse_name = ref.browse_name.name;
-      obs.node_class = ref.node_class;
-
-      if (ref.node_class == NodeClass::Variable) {
-        if (budget_exhausted()) return;
-        network_.clock().advance_ms(config_.budget.inter_request_ms);
-        DataValue dv;
-        if (client.read(ref.node_id, AttributeId::UserAccessLevel, dv) == StatusCode::Good &&
-            dv.value.is<std::uint32_t>()) {
-          const auto level = dv.value.as<std::uint32_t>();
-          obs.readable = level & access_level::kCurrentRead;
-          obs.writable = level & access_level::kCurrentWrite;
-        }
-      } else if (ref.node_class == NodeClass::Method) {
-        if (budget_exhausted()) return;
-        network_.clock().advance_ms(config_.budget.inter_request_ms);
-        DataValue dv;
-        if (client.read(ref.node_id, AttributeId::UserExecutable, dv) == StatusCode::Good &&
-            dv.value.is<bool>()) {
-          obs.executable = dv.value.as<bool>();
-        }
-      }
-      record.nodes.push_back(std::move(obs));
-      queue.push_back(ref.node_id);
-    }
-  }
+  return task.take_record();
 }
 
 }  // namespace opcua_study

@@ -9,6 +9,11 @@
 //  4. if anonymous access is advertised, create + activate a session,
 //  5. traverse the address space (Browse + Read of access levels), pacing
 //     500 ms between requests, capped at 60 min / 50 MB per host (§A.2).
+//
+// The pipeline itself lives in the resumable HostGrabTask state machine
+// (scanner/host_task.hpp); Grabber is the lock-step compatibility shim that
+// drives one task to completion while advancing the global clock, exactly
+// like the pre-engine synchronous scanner did.
 #pragma once
 
 #include "netsim/network.hpp"
@@ -38,11 +43,6 @@ class Grabber {
   HostScanRecord grab(Ipv4 ip, std::uint16_t port);
 
  private:
-  struct Paced;
-  void assess_channel_and_session(HostScanRecord& record);
-  void traverse(HostScanRecord& record, Client& client, NetConnection& conn,
-                std::uint64_t started_us);
-
   GrabberConfig config_;
   Network& network_;
   std::uint64_t seed_;

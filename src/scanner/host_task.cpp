@@ -1,0 +1,321 @@
+#include "scanner/host_task.hpp"
+
+#include <algorithm>
+
+namespace opcua_study {
+
+std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url) {
+  constexpr std::string_view kScheme = "opc.tcp://";
+  if (url.rfind(kScheme, 0) != 0) return std::nullopt;
+  std::string rest = url.substr(kScheme.size());
+  const auto slash = rest.find('/');
+  if (slash != std::string::npos) rest = rest.substr(0, slash);
+  const auto colon = rest.find(':');
+  std::uint16_t port = kOpcUaDefaultPort;
+  std::string host = rest;
+  if (colon != std::string::npos) {
+    host = rest.substr(0, colon);
+    try {
+      const int parsed = std::stoi(rest.substr(colon + 1));
+      if (parsed < 1 || parsed > 65535) return std::nullopt;
+      port = static_cast<std::uint16_t>(parsed);
+    } catch (const std::exception&) {
+      return std::nullopt;  // empty, non-numeric, or > INT_MAX
+    }
+  }
+  try {
+    return std::make_pair(parse_ipv4(host), port);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // hostname-based URL; the study follows IPs only
+  }
+}
+
+HostGrabTask::HostGrabTask(const GrabberConfig& config, Network& network, std::uint64_t seed,
+                           std::uint64_t task_id, Ipv4 ip, std::uint16_t port)
+    : config_(config), network_(network), seed_(seed), task_id_(task_id), ip_(ip), port_(port) {
+  record_.ip = ip;
+  record_.port = port;
+  record_.asn = network_.as_db().asn_of(ip);
+  url_ = "opc.tcp://" + format_ipv4(ip) + ":" + std::to_string(port) + "/";
+}
+
+HostGrabTask::~HostGrabTask() = default;
+
+HostGrabTask::Step HostGrabTask::yield(std::uint64_t pace_us, Phase next) {
+  const std::uint64_t wait = consumed_us_ + pace_us;
+  elapsed_us_ += wait;
+  consumed_us_ = 0;
+  phase_ = next;
+  return Step{wait, false};
+}
+
+HostGrabTask::Step HostGrabTask::finish(bool with_duration) {
+  const std::uint64_t wait = consumed_us_;
+  elapsed_us_ += wait;
+  consumed_us_ = 0;
+  if (with_duration) record_.duration_seconds = static_cast<double>(elapsed_us_) / 1e6;
+  client_.reset();
+  conn_.reset();
+  phase_ = Phase::Done;
+  return Step{wait, true};
+}
+
+bool HostGrabTask::budget_exhausted() const {
+  const double elapsed_s =
+      static_cast<double>(elapsed_us_ + consumed_us_ - assess_start_us_) / 1e6;
+  return elapsed_s > static_cast<double>(config_.budget.max_host_seconds) ||
+         (conn_ != nullptr && conn_->bytes_sent() > config_.budget.max_host_bytes);
+}
+
+const EndpointObservation* HostGrabTask::strongest_endpoint() const {
+  // The paper's scanner presents its self-signed certificate on the
+  // strongest advertised (mode, policy) combination.
+  const EndpointObservation* best = nullptr;
+  for (const auto& ep : record_.endpoints) {
+    if (!ep.policy_known) continue;
+    if (best == nullptr || security_mode_rank(ep.mode) > security_mode_rank(best->mode) ||
+        (security_mode_rank(ep.mode) == security_mode_rank(best->mode) &&
+         policy_info(ep.policy).rank > policy_info(best->policy).rank)) {
+      best = &ep;
+    }
+  }
+  return best;
+}
+
+HostGrabTask::Step HostGrabTask::step() {
+  switch (phase_) {
+    case Phase::Discovery: return step_discovery();
+    case Phase::SecureProbe: return step_secure_probe();
+    case Phase::ReadNamespaces: return step_read_namespaces();
+    case Phase::ReadVersion: return step_read_version();
+    case Phase::TraverseBrowse: return traverse_loop(/*browse_first=*/true);
+    case Phase::TraverseRead: return step_traverse_read();
+    case Phase::Done: break;
+  }
+  return Step{0, true};
+}
+
+HostGrabTask::Step HostGrabTask::step_discovery() {
+  conn_ = network_.connect(ip_, port_, ConnMode::Deferred);
+  if (!conn_) {
+    consumed_us_ += network_.rtt_us(ip_);  // RST after one RTT
+    return finish(/*with_duration=*/false);
+  }
+  record_.tcp_open = true;
+  charge(*conn_);  // three-way handshake
+
+  client_ = std::make_unique<Client>(config_.client, *conn_,
+                                     Rng(seed_).child("grab-" + std::to_string(task_id_)));
+  const StatusCode hello_status = client_->hello(url_);
+  charge(*conn_);
+  if (hello_status != StatusCode::Good) {
+    return finish(/*with_duration=*/true);  // not an OPC UA speaker
+  }
+  const StatusCode open_status =
+      client_->open_channel(SecurityPolicy::None, MessageSecurityMode::None);
+  charge(*conn_);
+  if (open_status != StatusCode::Good) return finish(/*with_duration=*/false);
+
+  std::vector<EndpointDescription> endpoints;
+  const StatusCode endpoints_status = client_->get_endpoints(url_, endpoints);
+  charge(*conn_);
+  if (endpoints_status != StatusCode::Good) return finish(/*with_duration=*/false);
+  record_.speaks_opcua = true;
+
+  for (const auto& ep : endpoints) {
+    const auto target = parse_opc_url(ep.endpoint_url);
+    const bool foreign = target && (target->first != ip_ || target->second != port_);
+    if (foreign) {
+      record_.referenced_targets.push_back(*target);
+      continue;
+    }
+    EndpointObservation obs;
+    obs.url = ep.endpoint_url;
+    obs.mode = ep.security_mode;
+    obs.policy_uri = ep.security_policy_uri;
+    if (const auto policy = policy_from_uri(ep.security_policy_uri)) {
+      obs.policy = *policy;
+      obs.policy_known = true;
+    }
+    for (const auto& token : ep.user_identity_tokens) obs.token_types.push_back(token.token_type);
+    obs.certificate_der = ep.server_certificate;
+    record_.endpoints.push_back(std::move(obs));
+    if (record_.application_uri.empty()) {
+      record_.application_uri = ep.server.application_uri;
+      record_.product_uri = ep.server.product_uri;
+      record_.application_name = ep.server.application_name.text;
+      record_.application_type = ep.server.application_type;
+    }
+  }
+  record_.bytes_sent += conn_->bytes_sent();
+  client_->close_channel();
+  charge(*conn_);
+  client_.reset();
+  conn_.reset();
+
+  for (const auto& ep : record_.endpoints) {
+    for (UserTokenType t : ep.token_types) {
+      if (t == UserTokenType::Anonymous) record_.anonymous_offered = true;
+    }
+  }
+
+  if (!record_.endpoints.empty() && !record_.is_discovery_server() &&
+      strongest_endpoint() != nullptr) {
+    // The secure re-probe reconnects immediately (no pacing gap), but
+    // yielding here lets the engine interleave other hosts.
+    return yield(/*pace_us=*/0, Phase::SecureProbe);
+  }
+  return finish(/*with_duration=*/true);
+}
+
+HostGrabTask::Step HostGrabTask::step_secure_probe() {
+  const EndpointObservation* best = strongest_endpoint();
+  assess_start_us_ = elapsed_us_;
+
+  conn_ = network_.connect(ip_, port_, ConnMode::Deferred);
+  if (!conn_) {
+    consumed_us_ += network_.rtt_us(ip_);
+    return finish(/*with_duration=*/true);
+  }
+  charge(*conn_);
+  client_ = std::make_unique<Client>(config_.client, *conn_,
+                                     Rng(seed_).child("sess-" + std::to_string(task_id_)));
+  const StatusCode hello_status = client_->hello(url_);
+  charge(*conn_);
+  if (hello_status != StatusCode::Good) return finish(/*with_duration=*/true);
+
+  const StatusCode channel_status =
+      client_->open_channel(best->policy, best->mode, best->certificate_der);
+  charge(*conn_);
+  record_.channel_policy = best->policy;
+  record_.channel_mode = best->mode;
+  if (is_bad(channel_status)) {
+    record_.channel = best->policy == SecurityPolicy::None ? ChannelOutcome::failed
+                                                           : ChannelOutcome::cert_rejected;
+    record_.session = SessionOutcome::channel_rejected;
+    record_.bytes_sent += conn_->bytes_sent();
+    return finish(/*with_duration=*/true);
+  }
+  record_.channel = ChannelOutcome::established;
+
+  // Attempt an anonymous session on every reachable server: servers without
+  // an anonymous token reject it, which is exactly the paper's
+  // "unaccessible, reason: authentication" population (Table 2).
+  Client::SessionInfo info;
+  StatusCode status = client_->create_session(&info);
+  charge(*conn_);
+  record_.server_signature_valid = info.server_signature_valid;
+  if (is_good(status)) {
+    status = client_->activate_session_anonymous();
+    charge(*conn_);
+  }
+  if (is_bad(status)) {
+    record_.session = SessionOutcome::auth_rejected;
+    record_.bytes_sent += conn_->bytes_sent();
+    return finish(/*with_duration=*/true);
+  }
+  record_.session = SessionOutcome::accessible;
+
+  // Namespaces (classification input) and software version (§5.5) follow
+  // after the inter-request pause.
+  return yield(config_.budget.inter_request_ms * 1000, Phase::ReadNamespaces);
+}
+
+HostGrabTask::Step HostGrabTask::step_read_namespaces() {
+  std::vector<std::string> namespaces;
+  if (client_->read_string_array(node_ids::kNamespaceArray, namespaces) == StatusCode::Good) {
+    record_.namespaces = std::move(namespaces);
+  }
+  charge(*conn_);
+  return yield(config_.budget.inter_request_ms * 1000, Phase::ReadVersion);
+}
+
+HostGrabTask::Step HostGrabTask::step_read_version() {
+  DataValue sv;
+  if (client_->read(node_ids::kSoftwareVersion, AttributeId::Value, sv) == StatusCode::Good &&
+      sv.value.is<std::string>()) {
+    record_.software_version = sv.value.as<std::string>();
+  }
+  charge(*conn_);
+  if (!config_.traverse_address_space) return finish_assess();
+
+  // Breadth-first walk from the Objects folder, reading the anonymous
+  // user's access rights for every variable/method. The scanner never
+  // writes and never calls: rights are read from UserAccessLevel /
+  // UserExecutable attributes (paper §A.1).
+  queue_ = {node_ids::kObjectsFolder};
+  visited_ = {node_ids::kObjectsFolder};
+  return traverse_loop(/*browse_first=*/false);
+}
+
+HostGrabTask::Step HostGrabTask::traverse_loop(bool browse_first) {
+  if (browse_first) {
+    refs_.clear();
+    ref_index_ = 0;
+    if (client_->browse(current_node_, refs_, config_.browse_chunk) != StatusCode::Good) {
+      refs_.clear();
+    }
+    charge(*conn_);
+  }
+  for (;;) {
+    // Inner loop: walk the reference list of the current node.
+    while (ref_index_ < refs_.size()) {
+      const auto& ref = refs_[ref_index_];
+      if (!visited_.insert(ref.node_id).second) {
+        ++ref_index_;
+        continue;
+      }
+      pending_obs_ = NodeObservation{};
+      pending_obs_.browse_name = ref.browse_name.name;
+      pending_obs_.node_class = ref.node_class;
+      if (ref.node_class == NodeClass::Variable || ref.node_class == NodeClass::Method) {
+        if (budget_exhausted()) {
+          record_.traversal_truncated = true;
+          return finish_assess();
+        }
+        pending_attr_ = ref.node_class == NodeClass::Variable ? AttributeId::UserAccessLevel
+                                                              : AttributeId::UserExecutable;
+        return yield(config_.budget.inter_request_ms * 1000, Phase::TraverseRead);
+      }
+      record_.nodes.push_back(pending_obs_);
+      queue_.push_back(ref.node_id);
+      ++ref_index_;
+    }
+    // Outer loop head: pick the next node to browse.
+    if (queue_.empty()) return finish_assess();
+    if (budget_exhausted()) {
+      record_.traversal_truncated = true;
+      return finish_assess();
+    }
+    current_node_ = queue_.front();
+    queue_.pop_front();
+    return yield(config_.budget.inter_request_ms * 1000, Phase::TraverseBrowse);
+  }
+}
+
+HostGrabTask::Step HostGrabTask::step_traverse_read() {
+  DataValue dv;
+  if (client_->read(refs_[ref_index_].node_id, pending_attr_, dv) == StatusCode::Good) {
+    if (pending_attr_ == AttributeId::UserAccessLevel && dv.value.is<std::uint32_t>()) {
+      const auto level = dv.value.as<std::uint32_t>();
+      pending_obs_.readable = level & access_level::kCurrentRead;
+      pending_obs_.writable = level & access_level::kCurrentWrite;
+    } else if (pending_attr_ == AttributeId::UserExecutable && dv.value.is<bool>()) {
+      pending_obs_.executable = dv.value.as<bool>();
+    }
+  }
+  charge(*conn_);
+  record_.nodes.push_back(pending_obs_);
+  queue_.push_back(refs_[ref_index_].node_id);
+  ++ref_index_;
+  return traverse_loop(/*browse_first=*/false);
+}
+
+HostGrabTask::Step HostGrabTask::finish_assess() {
+  record_.bytes_sent += conn_->bytes_sent();
+  client_->close_channel();
+  charge(*conn_);
+  return finish(/*with_duration=*/true);
+}
+
+}  // namespace opcua_study

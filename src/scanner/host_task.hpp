@@ -1,0 +1,124 @@
+// Resumable per-host grab — the zgrab2 OPC UA module as an explicit state
+// machine.
+//
+// One task owns the full grab pipeline of a single host (paper §4):
+// HEL → OPN(None) + GetEndpoints → secure-channel re-probe with the
+// scanner's certificate → anonymous session → paced address-space
+// traversal. Instead of blocking between paced requests, the task yields:
+// step() executes one unit of protocol work against a *deferred*
+// connection (netsim charges RTT + transfer time to the connection, not to
+// the global clock) and returns how much simulated time must pass before
+// the next step. The ScanScheduler converts those waits into events on the
+// Network's event heap, keeping hundreds of hosts in flight at once; the
+// Grabber compatibility shim instead advances the clock in lock-step.
+//
+// Every budget decision (500 ms pacing, 60 min / 50 MB caps, §A.2) is made
+// against the task's *local* timeline, which makes a host's record — bytes,
+// duration, truncation — independent of how many other hosts are in flight.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "netsim/network.hpp"
+#include "opcua/client.hpp"
+#include "scanner/grabber.hpp"
+#include "scanner/record.hpp"
+
+namespace opcua_study {
+
+/// Parse "opc.tcp://a.b.c.d:port/..." into (ip, port). Rejects hostname
+/// URLs (the study follows IPs only) and out-of-range ports.
+std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url);
+
+class HostGrabTask {
+ public:
+  struct Step {
+    /// Simulated time consumed by this step plus the pacing delay before
+    /// the next one: schedule the next step() this far in the future.
+    std::uint64_t wait_us = 0;
+    bool done = false;
+  };
+
+  /// `task_id` feeds the per-grab RNG streams ("grab-N" / "sess-N"); the
+  /// scheduler assigns ids in launch order so a concurrent campaign draws
+  /// the same nonces as the sequential one. `config` must outlive the task
+  /// (it holds the scanner identity — certificate + key — shared by every
+  /// host in flight).
+  HostGrabTask(const GrabberConfig& config, Network& network, std::uint64_t seed,
+               std::uint64_t task_id, Ipv4 ip, std::uint16_t port);
+  ~HostGrabTask();
+
+  HostGrabTask(const HostGrabTask&) = delete;
+  HostGrabTask& operator=(const HostGrabTask&) = delete;
+
+  /// Execute the next unit of work (everything up to the next pacing gap).
+  Step step();
+
+  bool done() const { return phase_ == Phase::Done; }
+  Ipv4 ip() const { return ip_; }
+  std::uint16_t port() const { return port_; }
+  /// Task-local simulated time since the task started.
+  std::uint64_t elapsed_us() const { return elapsed_us_; }
+  const HostScanRecord& record() const { return record_; }
+  HostScanRecord take_record() { return std::move(record_); }
+
+ private:
+  enum class Phase {
+    Discovery,       // connect + HEL + OPN(None) + GetEndpoints
+    SecureProbe,     // reconnect on the strongest endpoint + session
+    ReadNamespaces,  // paced NamespaceArray read
+    ReadVersion,     // paced SoftwareVersion read
+    TraverseBrowse,  // paced Browse of the current node
+    TraverseRead,    // paced UserAccessLevel / UserExecutable read
+    Done,
+  };
+
+  Step step_discovery();
+  Step step_secure_probe();
+  Step step_read_namespaces();
+  Step step_read_version();
+  /// The breadth-first traversal loop; `browse_first` resumes after the
+  /// paced Browse wake-up.
+  Step traverse_loop(bool browse_first);
+  Step step_traverse_read();
+
+  /// Move the connection's deferred time into this step's consumption.
+  void charge(NetConnection& conn) { consumed_us_ += conn.take_elapsed(); }
+  /// End the step: bank consumed time (+ pacing) and report it to the caller.
+  Step yield(std::uint64_t pace_us, Phase next);
+  Step finish(bool with_duration);
+  Step finish_assess();
+  bool budget_exhausted() const;
+  const EndpointObservation* strongest_endpoint() const;
+
+  const GrabberConfig& config_;
+  Network& network_;
+  std::uint64_t seed_;
+  std::uint64_t task_id_;
+  Ipv4 ip_;
+  std::uint16_t port_;
+  std::string url_;
+
+  Phase phase_ = Phase::Discovery;
+  HostScanRecord record_;
+  std::uint64_t elapsed_us_ = 0;        // task-local clock
+  std::uint64_t consumed_us_ = 0;       // charged during the current step
+  std::uint64_t assess_start_us_ = 0;   // elapsed_us_ when SecureProbe began
+
+  std::unique_ptr<NetConnection> conn_;  // declared before client_: client
+  std::unique_ptr<Client> client_;       // holds a reference to *conn_
+
+  // Traversal state (mirrors the former Grabber::traverse locals).
+  std::deque<NodeId> queue_;
+  std::set<NodeId> visited_;
+  NodeId current_node_;
+  std::vector<ReferenceDescription> refs_;
+  std::size_t ref_index_ = 0;
+  NodeObservation pending_obs_;
+  AttributeId pending_attr_ = AttributeId::Value;
+};
+
+}  // namespace opcua_study

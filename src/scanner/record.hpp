@@ -22,6 +22,8 @@ struct EndpointObservation {
   bool policy_known = false;
   std::vector<UserTokenType> token_types;
   Bytes certificate_der;  // empty if the endpoint carried none
+
+  friend bool operator==(const EndpointObservation&, const EndpointObservation&) = default;
 };
 
 enum class ChannelOutcome {
@@ -46,6 +48,8 @@ struct NodeObservation {
   bool readable = false;
   bool writable = false;
   bool executable = false;
+
+  friend bool operator==(const NodeObservation&, const NodeObservation&) = default;
 };
 
 struct HostScanRecord {
@@ -93,6 +97,10 @@ struct HostScanRecord {
   std::vector<UserTokenType> advertised_token_types() const;
   /// Distinct certificates across endpoints.
   std::vector<Bytes> distinct_certificates() const;
+
+  /// Full-record equality — the engine-equivalence tests assert that a
+  /// concurrent campaign reproduces the sequential one field by field.
+  friend bool operator==(const HostScanRecord&, const HostScanRecord&) = default;
 };
 
 /// One weekly measurement.
@@ -105,6 +113,8 @@ struct ScanSnapshot {
   std::uint64_t tcp_open_count = 0;    // hosts with port 4840 open
   std::size_t server_count() const;
   std::size_t discovery_count() const;
+
+  friend bool operator==(const ScanSnapshot&, const ScanSnapshot&) = default;
 };
 
 }  // namespace opcua_study

@@ -1,0 +1,59 @@
+#include "scanner/scheduler.hpp"
+
+#include <algorithm>
+
+namespace opcua_study {
+
+ScanScheduler::ScanScheduler(GrabberConfig config, Network& network, std::uint64_t seed,
+                             std::size_t max_in_flight)
+    : config_(std::move(config)),
+      network_(network),
+      seed_(seed),
+      max_in_flight_(std::max<std::size_t>(1, max_in_flight)) {}
+
+void ScanScheduler::enqueue(Ipv4 ip, std::uint16_t port) { pending_.emplace_back(ip, port); }
+
+void ScanScheduler::launch_next() {
+  if (pending_.empty()) return;
+  const auto [ip, port] = pending_.front();
+  pending_.pop_front();
+  const std::size_t result_index = next_result_++;
+  auto task = std::make_shared<HostGrabTask>(config_, network_, seed_, ++task_counter_, ip, port);
+  // First step fires "now": the sweep already paid the probe cost.
+  network_.scheduler().schedule_in(0, [this, task, result_index] {
+    step_task(task, result_index);
+  });
+}
+
+void ScanScheduler::step_task(const std::shared_ptr<HostGrabTask>& task,
+                              std::size_t result_index) {
+  const HostGrabTask::Step step = task->step();
+  if (!step.done) {
+    network_.scheduler().schedule_in(step.wait_us, [this, task, result_index] {
+      step_task(task, result_index);
+    });
+    return;
+  }
+  // The grab completes wait_us in the future (the final exchanges' cost);
+  // only then does its in-flight slot free up for the next pending host.
+  network_.scheduler().schedule_in(step.wait_us, [this, task, result_index] {
+    results_[result_index] = task->take_record();
+    ++completed_;
+    launch_next();
+  });
+}
+
+std::vector<HostScanRecord> ScanScheduler::drain() {
+  results_.clear();
+  results_.resize(pending_.size());
+  next_result_ = 0;
+  completed_ = 0;
+  const std::size_t initial = std::min(max_in_flight_, pending_.size());
+  for (std::size_t i = 0; i < initial; ++i) launch_next();
+  while (completed_ < results_.size()) {
+    if (!network_.scheduler().run_next()) break;  // heap drained unexpectedly
+  }
+  return std::move(results_);
+}
+
+}  // namespace opcua_study

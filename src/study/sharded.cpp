@@ -1,0 +1,100 @@
+#include "study/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace opcua_study {
+
+std::uint64_t ShardedRunStats::max_simulated_us() const {
+  std::uint64_t max_us = 0;
+  for (const std::uint64_t us : shard_simulated_us) max_us = std::max(max_us, us);
+  return max_us;
+}
+
+ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
+                                  const ShardedCampaignConfig& config,
+                                  ShardedRunStats* stats) {
+  const int shards = std::max(1, config.shards);
+
+  // Deployment stays on this thread: the Deployer memoises keys and
+  // certificates across shards, and RSA generation is the expensive part.
+  std::vector<std::unique_ptr<Network>> networks;
+  networks.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    networks.push_back(std::make_unique<Network>());
+    deployer.deploy_week(*networks.back(), week, ShardSpec{s, shards});
+  }
+
+  // Scan every shard on its own worker; each campaign touches only its own
+  // Network, so the workers share nothing but the shard counter.
+  std::vector<ScanSnapshot> shard_snapshots(static_cast<std::size_t>(shards));
+  std::atomic<int> next_shard{0};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const int thread_count =
+      std::min(shards, config.threads > 0 ? config.threads : static_cast<int>(hardware));
+  auto worker = [&] {
+    for (int s = next_shard.fetch_add(1); s < shards; s = next_shard.fetch_add(1)) {
+      Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
+      shard_snapshots[static_cast<std::size_t>(s)] = campaign.run(week);
+    }
+  };
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  if (stats != nullptr) {
+    stats->shard_simulated_us.clear();
+    for (const auto& net : networks) stats->shard_simulated_us.push_back(net->clock().now_us());
+  }
+
+  // Merge: counters sum; hosts sort by (ip, port) for a deterministic,
+  // shard-count-independent result.
+  ScanSnapshot merged;
+  merged.measurement_index = week;
+  merged.date_days = measurement_days(week);
+  for (auto& snapshot : shard_snapshots) {
+    merged.probes_sent += snapshot.probes_sent;
+    merged.tcp_open_count += snapshot.tcp_open_count;
+    for (auto& host : snapshot.hosts) merged.hosts.push_back(std::move(host));
+  }
+  if (!config.campaign.oracle_sweep && !shard_snapshots.empty()) {
+    // LFSR mode: every shard walks the identical universe, so summing would
+    // count the same probes `shards` times; one shard's walk is exactly the
+    // unsharded probe count.
+    merged.probes_sent = shard_snapshots.front().probes_sent;
+  }
+  std::sort(merged.hosts.begin(), merged.hosts.end(),
+            [](const HostScanRecord& a, const HostScanRecord& b) {
+              return std::make_pair(a.ip, a.port) < std::make_pair(b.ip, b.port);
+            });
+  return merged;
+}
+
+ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
+                                     std::size_t max_in_flight, int threads) {
+  const PopulationPlan plan = build_population_plan(config.seed);
+  DeployConfig deploy_config;
+  deploy_config.seed = config.seed;
+  deploy_config.dummy_hosts = config.dummy_hosts;
+  deploy_config.key_cache_path = config.key_cache_path;
+  Deployer deployer(plan, deploy_config);
+
+  KeyFactory scanner_keys(config.seed, config.key_cache_path);
+  ShardedCampaignConfig sharded;
+  sharded.campaign.seed = config.seed;
+  sharded.campaign.exclusions = deployer.exclusion_list();
+  sharded.campaign.grabber.client = make_scanner_identity(config.seed, scanner_keys);
+  sharded.campaign.grabber.traverse_address_space = config.traverse_address_space;
+  sharded.campaign.max_in_flight = max_in_flight;
+  sharded.shards = shards;
+  sharded.threads = threads;
+  return run_sharded_campaign(deployer, week, sharded);
+}
+
+}  // namespace opcua_study

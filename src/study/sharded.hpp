@@ -1,0 +1,46 @@
+// Sharded measurement runner: the simulated universe split across worker
+// threads.
+//
+// The concurrent engine removes simulated-time serialization (hosts
+// interleave on one event heap); sharding removes *real*-time
+// serialization: the population is partitioned into disjoint per-shard
+// Networks (discovery-reference closures never straddle a partition, see
+// ShardSpec) and each shard runs its own campaign on a worker thread. The
+// per-shard snapshots are merged into one, with hosts sorted by (ip, port)
+// so the result is deterministic under a fixed seed regardless of shard
+// count or thread scheduling. See DESIGN.md §Sharding.
+#pragma once
+
+#include "population/deploy.hpp"
+#include "scanner/campaign.hpp"
+#include "study/study.hpp"
+
+namespace opcua_study {
+
+struct ShardedCampaignConfig {
+  /// Per-shard campaign settings (seed, grabber, exclusions, max_in_flight).
+  CampaignConfig campaign;
+  int shards = 4;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+struct ShardedRunStats {
+  /// Simulated end-of-campaign clock per shard; the campaign's simulated
+  /// wall-clock is the max (shards run concurrently in simulated time too).
+  std::vector<std::uint64_t> shard_simulated_us;
+  std::uint64_t max_simulated_us() const;
+};
+
+/// Deploy every shard (sequentially — key/cert memoisation is shared),
+/// run the per-shard campaigns on a worker pool, and merge the snapshots.
+ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
+                                  const ShardedCampaignConfig& config,
+                                  ShardedRunStats* stats = nullptr);
+
+/// The full weekly measurement of the study, sharded. Equivalent host set
+/// to run_measurement(); hosts sorted by (ip, port) instead of sweep order.
+ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
+                                     std::size_t max_in_flight = 256, int threads = 0);
+
+}  // namespace opcua_study
