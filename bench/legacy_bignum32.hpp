@@ -1,0 +1,540 @@
+// The retired 32-bit-limb bignum core, embedded verbatim as the baseline
+// for bench/crypto_throughput.cpp.
+//
+// This is the arithmetic the repo shipped before the 64-bit rewrite:
+// schoolbook multiplication only, Knuth-D division in base 2^32, a CIOS
+// Montgomery ladder (bit-at-a-time) for modexp, and per-prime trial
+// division. Keeping it compilable gives the bench an honest old-vs-new
+// ratio — and lets it assert that both cores generate bit-identical
+// primes from the same Rng stream (the determinism invariant the 64-bit
+// core promises). Bench-only: never link this into the library.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study::legacy32 {
+
+class Bignum {
+ public:
+  Bignum() = default;
+  Bignum(std::uint64_t v) {  // NOLINT(google-explicit-constructor)
+    if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  std::size_t bit_length() const {
+    if (limbs_.empty()) return 0;
+    std::uint32_t top = limbs_.back();
+    std::size_t bits = (limbs_.size() - 1) * 32;
+    while (top) {
+      ++bits;
+      top >>= 1;
+    }
+    return bits;
+  }
+
+  bool bit(std::size_t i) const {
+    const std::size_t limb = i / 32;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+  }
+
+  void set_bit(std::size_t i) {
+    const std::size_t limb = i / 32;
+    if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+    limbs_[limb] |= std::uint32_t{1} << (i % 32);
+  }
+
+  Bytes to_bytes_be() const {
+    const std::size_t nbytes = (bit_length() + 7) / 8;
+    Bytes out(nbytes, 0);
+    for (std::size_t i = 0; i < nbytes; ++i) {
+      const std::size_t bit_pos = i * 8;
+      out[nbytes - 1 - i] = static_cast<std::uint8_t>(limbs_[bit_pos / 32] >> (bit_pos % 32));
+    }
+    return out;
+  }
+
+  std::string to_hex() const {
+    if (is_zero()) return "0";
+    auto bytes = to_bytes_be();
+    std::string h = opcua_study::to_hex(bytes);
+    if (h.size() > 1 && h[0] == '0') h.erase(h.begin());
+    return h;
+  }
+
+  int compare(const Bignum& other) const {
+    if (limbs_.size() != other.limbs_.size()) {
+      return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    }
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+  }
+  bool operator==(const Bignum& o) const { return compare(o) == 0; }
+  bool operator!=(const Bignum& o) const { return compare(o) != 0; }
+  bool operator<(const Bignum& o) const { return compare(o) < 0; }
+  bool operator<=(const Bignum& o) const { return compare(o) <= 0; }
+  bool operator>(const Bignum& o) const { return compare(o) > 0; }
+  bool operator>=(const Bignum& o) const { return compare(o) >= 0; }
+
+  Bignum operator+(const Bignum& other) const {
+    Bignum out;
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    out.limbs_.resize(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t sum = carry;
+      if (i < limbs_.size()) sum += limbs_[i];
+      if (i < other.limbs_.size()) sum += other.limbs_[i];
+      out.limbs_[i] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    out.limbs_[n] = static_cast<std::uint32_t>(carry);
+    out.trim();
+    return out;
+  }
+
+  Bignum operator-(const Bignum& other) const {
+    if (*this < other) throw std::domain_error("legacy Bignum underflow");
+    Bignum out;
+    out.limbs_.resize(limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      std::int64_t diff =
+          static_cast<std::int64_t>(limbs_[i]) - borrow -
+          (i < other.limbs_.size() ? static_cast<std::int64_t>(other.limbs_[i]) : 0);
+      if (diff < 0) {
+        diff += (std::int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+  }
+
+  Bignum operator*(const Bignum& other) const {
+    if (is_zero() || other.is_zero()) return Bignum{};
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      std::uint64_t carry = 0;
+      const std::uint64_t a = limbs_[i];
+      for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+        std::uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+        out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::size_t k = i + other.limbs_.size();
+      while (carry) {
+        std::uint64_t cur = out.limbs_[k] + carry;
+        out.limbs_[k] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+        ++k;
+      }
+    }
+    out.trim();
+    return out;
+  }
+
+  Bignum operator<<(std::size_t bits) const {
+    if (is_zero()) return Bignum{};
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+      out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+      out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+  }
+
+  Bignum operator>>(std::size_t bits) const {
+    const std::size_t limb_shift = bits / 32;
+    if (limb_shift >= limbs_.size()) return Bignum{};
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+      std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+      if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+        v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+      }
+      out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+  }
+
+  struct DivMod;  // {quotient, remainder}; defined after the class
+  DivMod divmod(const Bignum& divisor) const;
+
+  Bignum operator/(const Bignum& d) const;
+  Bignum operator%(const Bignum& d) const;
+  std::uint32_t mod_u32(std::uint32_t d) const {
+    if (d == 0) throw std::domain_error("mod by zero");
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      rem = ((rem << 32) | limbs_[i]) % d;
+    }
+    return static_cast<std::uint32_t>(rem);
+  }
+
+  static Bignum gcd(Bignum a, Bignum b) {
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    std::size_t shift = 0;
+    while (!a.is_odd() && !b.is_odd()) {
+      a = a >> 1;
+      b = b >> 1;
+      ++shift;
+    }
+    while (!a.is_odd()) a = a >> 1;
+    while (!b.is_zero()) {
+      while (!b.is_odd()) b = b >> 1;
+      if (a > b) std::swap(a, b);
+      b = b - a;
+    }
+    return a << shift;
+  }
+
+  static Bignum random_bits(Rng& rng, std::size_t bits) {
+    Bignum out;
+    out.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
+    const std::size_t excess = out.limbs_.size() * 32 - bits;
+    if (excess) out.limbs_.back() &= (~std::uint32_t{0}) >> excess;
+    out.trim();
+    return out;
+  }
+
+  static Bignum random_below(Rng& rng, const Bignum& bound) {
+    if (bound.is_zero()) throw std::domain_error("random_below(0)");
+    const std::size_t bits = bound.bit_length();
+    for (;;) {
+      Bignum candidate = random_bits(rng, bits);
+      if (candidate < bound) return candidate;
+    }
+  }
+
+  static bool is_probable_prime(const Bignum& n, int rounds, Rng& rng);
+  static Bignum generate_prime(Rng& rng, std::size_t bits, int mr_rounds = 12);
+
+ private:
+  friend class Montgomery;
+  void trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  }
+  std::vector<std::uint32_t> limbs_;
+};
+
+
+struct Bignum::DivMod {
+  Bignum quotient;
+  Bignum remainder;
+};
+
+inline Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
+  // Knuth TAOCP vol. 2 Algorithm D, base 2^32 — the old fast path.
+  if (divisor.is_zero()) throw std::domain_error("legacy Bignum division by zero");
+  if (*this < divisor) return {Bignum{}, *this};
+  const std::size_t n = divisor.limbs_.size();
+  if (n == 1) {
+    const std::uint32_t d = divisor.limbs_[0];
+    Bignum q;
+    q.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, Bignum{rem}};
+  }
+
+  const std::size_t m = limbs_.size();
+  const int s = std::countl_zero(divisor.limbs_.back());
+  std::vector<std::uint32_t> vn(n);
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint32_t v = divisor.limbs_[i] << s;
+    if (s && i > 0) v |= divisor.limbs_[i - 1] >> (32 - s);
+    vn[i] = v;
+  }
+  std::vector<std::uint32_t> un(m + 1, 0);
+  un[m] = s ? (limbs_[m - 1] >> (32 - s)) : 0;
+  for (std::size_t i = m; i-- > 0;) {
+    std::uint32_t v = limbs_[i] << s;
+    if (s && i > 0) v |= limbs_[i - 1] >> (32 - s);
+    un[i] = v;
+  }
+
+  Bignum q;
+  q.limbs_.assign(m - n + 1, 0);
+  constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+  for (std::size_t j = m - n + 1; j-- > 0;) {
+    const std::uint64_t num = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= kBase || qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    std::int64_t k = 0;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i];
+      t = static_cast<std::int64_t>(un[i + j]) - k - static_cast<std::int64_t>(p & 0xffffffffULL);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      k = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+    }
+    t = static_cast<std::int64_t>(un[j + n]) - k;
+    un[j + n] = static_cast<std::uint32_t>(t);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    if (t < 0) {
+      --q.limbs_[j];
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+      }
+      un[j + n] += static_cast<std::uint32_t>(carry);
+    }
+  }
+  q.trim();
+  Bignum r;
+  r.limbs_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = un[i] >> s;
+    if (s && i + 1 < n + 1) v |= static_cast<std::uint64_t>(un[i + 1]) << (32 - s);
+    r.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  r.trim();
+  return {q, r};
+}
+
+inline Bignum Bignum::operator/(const Bignum& d) const { return divmod(d).quotient; }
+inline Bignum Bignum::operator%(const Bignum& d) const { return divmod(d).remainder; }
+
+// Montgomery context with the old bit-at-a-time ladder exponentiation.
+class Montgomery {
+ public:
+  explicit Montgomery(const Bignum& odd_modulus) : n_(odd_modulus) {
+    if (!n_.is_odd()) throw std::domain_error("Montgomery modulus must be odd");
+    k_ = n_.limbs_.size();
+    const std::uint32_t n0 = n_.limbs_[0];
+    std::uint32_t x = n0;
+    for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
+    n0_inv_ = ~x + 1;
+    Bignum r = Bignum{1} << (32 * k_);
+    rr_ = (r % n_);
+    rr_ = (rr_ * rr_) % n_;
+  }
+
+  Bignum mul(const Bignum& a_mont, const Bignum& b_mont) const {
+    std::vector<std::uint32_t> t(k_ + 2, 0);
+    const auto& a = a_mont.limbs_;
+    const auto& b = b_mont.limbs_;
+    const auto& n = n_.limbs_;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const std::uint64_t ai = i < a.size() ? a[i] : 0;
+      std::uint64_t carry = 0;
+      for (std::size_t j = 0; j < k_; ++j) {
+        const std::uint64_t bj = j < b.size() ? b[j] : 0;
+        const std::uint64_t cur = t[j] + ai * bj + carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[k_] + carry;
+      t[k_] = static_cast<std::uint32_t>(cur);
+      t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      const std::uint32_t m = t[0] * n0_inv_;
+      carry = (static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(m) * n[0]) >> 32;
+      for (std::size_t j = 1; j < k_; ++j) {
+        const std::uint64_t cur2 = t[j] + static_cast<std::uint64_t>(m) * n[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(cur2);
+        carry = cur2 >> 32;
+      }
+      cur = t[k_] + carry;
+      t[k_ - 1] = static_cast<std::uint32_t>(cur);
+      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+      t[k_ + 1] = 0;
+    }
+    Bignum out;
+    out.limbs_.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_ + 1));
+    out.trim();
+    if (out >= n_) out = out - n_;
+    return out;
+  }
+
+  Bignum to_mont(const Bignum& x) const { return mul(x % n_, rr_); }
+  Bignum from_mont(const Bignum& x) const { return mul(x, Bignum{1}); }
+
+  Bignum pow(const Bignum& base, const Bignum& exp) const {
+    if (exp.is_zero()) return Bignum{1} % n_;
+    Bignum result = to_mont(Bignum{1});
+    Bignum b = to_mont(base);
+    const std::size_t bits = exp.bit_length();
+    for (std::size_t i = bits; i-- > 0;) {
+      result = mul(result, result);
+      if (exp.bit(i)) result = mul(result, b);
+    }
+    return from_mont(result);
+  }
+
+ private:
+  Bignum n_;
+  Bignum rr_;
+  std::uint32_t n0_inv_ = 0;
+  std::size_t k_ = 0;
+};
+
+inline const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 8192;
+    std::vector<bool> sieve(kLimit, true);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (std::uint32_t j = i * 2; j < kLimit; j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+inline bool mr_round(const Montgomery& mont, const Bignum& n, const Bignum& n_minus_1,
+                     const Bignum& d, std::size_t r, const Bignum& base) {
+  Bignum x = mont.pow(base, d);
+  if (x == Bignum{1} || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+    if (x == Bignum{1}) return false;
+  }
+  return false;
+}
+
+inline bool Bignum::is_probable_prime(const Bignum& n, int rounds, Rng& rng) {
+  if (n < Bignum{2}) return false;
+  for (std::uint32_t p : small_primes()) {
+    if (n == Bignum{p}) return true;
+    if (n.mod_u32(p) == 0) return false;
+  }
+  const Bignum n_minus_1 = n - Bignum{1};
+  Bignum d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  Montgomery mont(n);
+  if (!mr_round(mont, n, n_minus_1, d, r, Bignum{2})) return false;
+  for (int i = 0; i < rounds; ++i) {
+    Bignum base = random_below(rng, n - Bignum{3}) + Bignum{2};
+    if (!mr_round(mont, n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+inline Bignum Bignum::generate_prime(Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 16) throw std::invalid_argument("prime too small");
+  for (;;) {
+    Bignum candidate = random_bits(rng, bits);
+    candidate.set_bit(bits - 1);
+    candidate.set_bit(bits - 2);
+    candidate.set_bit(0);
+    bool composite = false;
+    for (std::uint32_t p : small_primes()) {
+      if (candidate.mod_u32(p) == 0) {
+        composite = true;
+        break;
+      }
+    }
+    if (composite) continue;
+    if (is_probable_prime(candidate, mr_rounds, rng)) return candidate;
+  }
+}
+
+/// The old rsa_generate p/q loop (public parts only — enough to time
+/// keygen and to compare moduli against the new path).
+struct KeyPublic {
+  Bignum n;
+  Bignum p, q;
+};
+
+inline KeyPublic generate_key(Rng& rng, std::size_t bits, int mr_rounds = 12) {
+  for (;;) {
+    Bignum p = Bignum::generate_prime(rng, bits / 2, mr_rounds);
+    Bignum q = Bignum::generate_prime(rng, bits / 2, mr_rounds);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);
+    if ((p - Bignum{1}).mod_u32(65537) == 0 || (q - Bignum{1}).mod_u32(65537) == 0) continue;
+    const Bignum n = p * q;
+    if (n.bit_length() != bits) continue;
+    return {n, p, q};
+  }
+}
+
+/// Batch GCD exactly as the old crypto/batch_gcd.cpp implemented it: the
+/// product tree re-squares every node inside the remainder descent with a
+/// general multiply, and every reduction is a full Knuth-D divmod.
+inline std::vector<Bignum> batch_gcd(const std::vector<Bignum>& moduli) {
+  std::vector<Bignum> shared_factor(moduli.size());
+  if (moduli.size() < 2) return shared_factor;
+
+  std::vector<std::vector<Bignum>> levels;
+  levels.push_back(moduli);
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
+    std::vector<Bignum> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) next.push_back(prev[i] * prev[i + 1]);
+    if (prev.size() % 2) next.push_back(prev.back());
+    levels.push_back(std::move(next));
+  }
+
+  std::vector<Bignum> rems = {levels.back()[0]};
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const auto& nodes = levels[level];
+    std::vector<Bignum> next(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Bignum& parent_rem = rems[i / 2];
+      next[i] = parent_rem % (nodes[i] * nodes[i]);
+    }
+    rems = std::move(next);
+  }
+
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    if (moduli[i].is_zero()) continue;
+    const Bignum z = rems[i] / moduli[i];
+    const Bignum g = Bignum::gcd(z, moduli[i]);
+    if (g > Bignum{1}) shared_factor[i] = g;
+  }
+  return shared_factor;
+}
+
+}  // namespace opcua_study::legacy32

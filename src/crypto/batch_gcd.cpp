@@ -1,5 +1,7 @@
 #include "crypto/batch_gcd.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace opcua_study {
 
 std::size_t BatchGcdResult::affected() const {
@@ -10,44 +12,75 @@ std::size_t BatchGcdResult::affected() const {
   return n;
 }
 
-BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli) {
+BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli, int threads) {
   BatchGcdResult result;
   result.shared_factor.assign(moduli.size(), Bignum{});
   if (moduli.size() < 2) return result;
+  const ThreadPool pool(threads);
 
-  // Product tree: levels[0] = moduli, levels.back() = single product.
-  std::vector<std::vector<Bignum>> levels;
-  levels.push_back(moduli);
-  while (levels.back().size() > 1) {
-    const auto& prev = levels.back();
-    std::vector<Bignum> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) next.push_back(prev[i] * prev[i + 1]);
-    if (prev.size() % 2) next.push_back(prev.back());
-    levels.push_back(std::move(next));
-  }
-
-  // Remainder tree downward over squares: rem[i] at level L equals
-  // P mod (node_L_i)^2.
-  std::vector<Bignum> rems = {levels.back()[0]};
-  for (std::size_t level = levels.size() - 1; level-- > 0;) {
-    const auto& nodes = levels[level];
-    std::vector<Bignum> next(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      const Bignum& parent_rem = rems[i / 2];
-      next[i] = parent_rem % (nodes[i] * nodes[i]);
-    }
-    rems = std::move(next);
-  }
-
+  // Leaves: zero moduli would collapse the whole product to zero, so they
+  // ride along as 1 (and can never be reported as sharing).
+  std::vector<Bignum> leaves(moduli.size());
   for (std::size_t i = 0; i < moduli.size(); ++i) {
-    if (moduli[i].is_zero()) continue;
-    // z = (P mod n_i^2) / n_i is exact; gcd(z, n_i) > 1 iff n_i shares a
+    leaves[i] = moduli[i].is_zero() ? Bignum{1} : moduli[i];
+  }
+
+  // Squares tree, bottom-up: squares[0][i] = n_i² (the only squarings in
+  // the whole run), squares[L+1][i] = squares[L][2i]·squares[L][2i+1] ==
+  // (node_L_2i·node_L_2i+1)². Odd tails are carried up by copy — their
+  // square is never recomputed. The topmost level (the square of the full
+  // product) is never needed: the remainder tree is seeded with P itself.
+  std::vector<std::vector<Bignum>> squares;
+  squares.emplace_back(leaves.size());
+  pool.parallel_for(leaves.size(),
+                    [&](std::size_t i) { squares[0][i] = leaves[i].sqr(); });
+  while (squares.back().size() > 2) {
+    const auto& prev = squares.back();
+    std::vector<Bignum> next((prev.size() + 1) / 2);
+    pool.parallel_for(prev.size() / 2, [&](std::size_t i) {
+      next[i] = prev[2 * i] * prev[2 * i + 1];
+    });
+    if (prev.size() % 2) next.back() = prev.back();
+    squares.push_back(std::move(next));
+  }
+
+  // Root of the *plain* product tree (levels collapsed as we go — only P
+  // is needed above the leaves; `leaves` is dead after this point).
+  std::vector<Bignum> products = std::move(leaves);
+  while (products.size() > 1) {
+    std::vector<Bignum> next((products.size() + 1) / 2);
+    pool.parallel_for(products.size() / 2, [&](std::size_t i) {
+      next[i] = products[2 * i] * products[2 * i + 1];
+    });
+    if (products.size() % 2) next.back() = std::move(products.back());
+    products = std::move(next);
+  }
+
+  // Remainder tree downward over the squares: rem[i] at level L equals
+  // P mod (node_L_i)². Each level only needs its parent level, and each
+  // consumed squares level is freed immediately — peak memory stays one
+  // tree, not two.
+  std::vector<Bignum> rems = {std::move(products[0])};
+  for (std::size_t level = squares.size(); level-- > 0;) {
+    const auto& sq = squares[level];
+    std::vector<Bignum> next(sq.size());
+    pool.parallel_for(sq.size(), [&](std::size_t i) {
+      const Bignum& parent_rem = rems[i / 2];
+      next[i] = parent_rem % sq[i];
+    });
+    rems = std::move(next);
+    squares[level].clear();
+    squares[level].shrink_to_fit();
+  }
+
+  pool.parallel_for(moduli.size(), [&](std::size_t i) {
+    if (moduli[i].is_zero()) return;
+    // z = (P mod n_i²) / n_i is exact; gcd(z, n_i) > 1 iff n_i shares a
     // prime with the rest of the batch.
     const Bignum z = rems[i] / moduli[i];
     const Bignum g = Bignum::gcd(z, moduli[i]);
     if (g > Bignum{1}) result.shared_factor[i] = g;
-  }
+  });
   return result;
 }
 

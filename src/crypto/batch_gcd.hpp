@@ -3,8 +3,16 @@
 // §5.3 of the paper: "we have not found any evidence of key material that
 // is subject to insufficient randomness by pairwise checking the keys of
 // all received certificates for shared primes". The product/remainder tree
-// brings the cost from O(n²) GCDs to O(n log² n) big-integer work, which is
-// what makes scanning the full ~1300-modulus corpus feasible.
+// brings the cost from O(n²) GCDs to O(n log² n) big-integer work; with
+// the 64-bit Karatsuba/Burnikel-Ziegler core underneath and the tree
+// levels parallelized, the same sweep handles 100k+ moduli — the scale a
+// full synthetic-Internet certificate corpus produces.
+//
+// Tree layout: the plain product tree is collapsed level by level (only
+// the root P survives); the *squares* needed by the remainder tree are a
+// second tree built bottom-up from one dedicated squaring per modulus —
+// sq(parent) = sq(left)·sq(right) — so no node is ever squared twice and
+// odd-count carry nodes reuse their child's square verbatim.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +31,9 @@ struct BatchGcdResult {
 
 /// Detect moduli sharing a prime with any other modulus in `moduli`.
 /// Duplicate moduli are reported as sharing (gcd = the modulus itself).
-BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli);
+/// `threads` <= 0 uses hardware concurrency, 1 runs serially; the result
+/// is identical for every thread count (workers fill disjoint tree slots).
+BatchGcdResult batch_gcd(const std::vector<Bignum>& moduli, int threads = 0);
 
 /// O(n²) reference used to validate batch_gcd in tests.
 BatchGcdResult pairwise_gcd(const std::vector<Bignum>& moduli);

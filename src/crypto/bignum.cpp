@@ -8,21 +8,59 @@
 
 namespace opcua_study {
 
+namespace {
+
+using DoubleLimb = unsigned __int128;
+using SignedDoubleLimb = __int128;
+
+// Schoolbook→Karatsuba crossover (tuned on the scratch-buffer recursion
+// below; see bench/crypto_throughput.cpp for the measurement harness).
+std::size_t g_karatsuba_threshold = 24;
+
+// Below this divisor size (limbs) Burnikel-Ziegler recursion bottoms out
+// into Knuth-D; also the minimum quotient size worth the recursion.
+constexpr std::size_t kBurnikelThresholdLimbs = 32;
+
+// Montgomery contexts use the interleaved CIOS multiply below this modulus
+// size and a Karatsuba product + separated REDC above it. CIOS measures
+// faster through at least 4096-bit moduli (the allocation-free inner loop
+// beats the asymptotics), so only the huge-operand uses flip over.
+constexpr std::size_t kMontSeparatedLimbs = 96;
+
+}  // namespace
+
+std::size_t Bignum::karatsuba_threshold() { return g_karatsuba_threshold; }
+
+void Bignum::set_karatsuba_threshold(std::size_t limbs) {
+  // Below 4 limbs the (a0+a1) sums stop shrinking and the recursion would
+  // not terminate.
+  g_karatsuba_threshold = std::max<std::size_t>(4, limbs);
+}
+
 Bignum::Bignum(std::uint64_t v) {
-  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
-  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  if (v != 0) limbs_.push_back(v);
 }
 
 void Bignum::trim() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
 }
 
+Bignum Bignum::slice_limbs(std::size_t from, std::size_t count) const {
+  Bignum out;
+  if (from >= limbs_.size() || count == 0) return out;
+  const std::size_t end = std::min(limbs_.size(), from + count);
+  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(from),
+                    limbs_.begin() + static_cast<std::ptrdiff_t>(end));
+  out.trim();
+  return out;
+}
+
 Bignum Bignum::from_bytes_be(std::span<const std::uint8_t> bytes) {
   Bignum out;
-  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     const std::size_t bit_pos = (bytes.size() - 1 - i) * 8;
-    out.limbs_[bit_pos / 32] |= static_cast<std::uint32_t>(bytes[i]) << (bit_pos % 32);
+    out.limbs_[bit_pos / 64] |= static_cast<std::uint64_t>(bytes[i]) << (bit_pos % 64);
   }
   out.trim();
   return out;
@@ -40,7 +78,7 @@ Bytes Bignum::to_bytes_be(std::size_t min_len) const {
   Bytes out(len, 0);
   for (std::size_t i = 0; i < nbytes; ++i) {
     const std::size_t bit_pos = i * 8;
-    out[len - 1 - i] = static_cast<std::uint8_t>(limbs_[bit_pos / 32] >> (bit_pos % 32));
+    out[len - 1 - i] = static_cast<std::uint8_t>(limbs_[bit_pos / 64] >> (bit_pos % 64));
   }
   return out;
 }
@@ -56,31 +94,19 @@ std::string Bignum::to_hex() const {
 
 std::size_t Bignum::bit_length() const {
   if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return limbs_.size() * 64 - static_cast<std::size_t>(std::countl_zero(limbs_.back()));
 }
 
 bool Bignum::bit(std::size_t i) const {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / 64;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1;
+  return (limbs_[limb] >> (i % 64)) & 1;
 }
 
 void Bignum::set_bit(std::size_t i) {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / 64;
   if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
-  limbs_[limb] |= std::uint32_t{1} << (i % 32);
-}
-
-std::uint64_t Bignum::low_u64() const {
-  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
-  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return v;
+  limbs_[limb] |= std::uint64_t{1} << (i % 64);
 }
 
 int Bignum::compare(const Bignum& other) const {
@@ -97,15 +123,15 @@ Bignum Bignum::operator+(const Bignum& other) const {
   Bignum out;
   const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
   out.limbs_.resize(n + 1, 0);
-  std::uint64_t carry = 0;
+  DoubleLimb carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t sum = carry;
+    DoubleLimb sum = carry;
     if (i < limbs_.size()) sum += limbs_[i];
     if (i < other.limbs_.size()) sum += other.limbs_[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(sum);
-    carry = sum >> 32;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
   }
-  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.limbs_[n] = static_cast<std::uint64_t>(carry);
   out.trim();
   return out;
 }
@@ -114,41 +140,232 @@ Bignum Bignum::operator-(const Bignum& other) const {
   if (*this < other) throw std::domain_error("Bignum underflow");
   Bignum out;
   out.limbs_.resize(limbs_.size(), 0);
-  std::int64_t borrow = 0;
+  std::uint64_t borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
-                        (i < other.limbs_.size() ? static_cast<std::int64_t>(other.limbs_[i]) : 0);
+    SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(limbs_[i]) - borrow -
+                            (i < other.limbs_.size() ? other.limbs_[i] : 0);
     if (diff < 0) {
-      diff += (std::int64_t{1} << 32);
+      diff += static_cast<SignedDoubleLimb>(1) << 64;
       borrow = 1;
     } else {
       borrow = 0;
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    out.limbs_[i] = static_cast<std::uint64_t>(diff);
   }
   out.trim();
   return out;
 }
 
+namespace {
+
+// ---- raw-limb multiplication kernels --------------------------------------
+// All little-endian, explicit lengths, no trimming. The Karatsuba recursion
+// works entirely inside one caller-allocated scratch arena: the Bignum
+// wrappers allocate exactly twice per product (result + scratch), which is
+// what makes the subquadratic path actually pay off at RSA/tree sizes.
+
+void mul_basecase(const std::uint64_t* a, std::size_t an, const std::uint64_t* b, std::size_t bn,
+                  std::uint64_t* out) {
+  std::fill(out, out + an + bn, 0);
+  for (std::size_t i = 0; i < an; ++i) {
+    DoubleLimb carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      const DoubleLimb cur = out[i + j] + static_cast<DoubleLimb>(ai) * b[j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    // Rows write disjoint trailing slots, so the final carry lands in a
+    // fresh zero limb — no propagation loop needed.
+    out[i + bn] = static_cast<std::uint64_t>(carry);
+  }
+}
+
+void sqr_basecase(const std::uint64_t* a, std::size_t n, std::uint64_t* out) {
+  std::fill(out, out + 2 * n, 0);
+  // Off-diagonal products once...
+  for (std::size_t i = 0; i < n; ++i) {
+    DoubleLimb carry = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const DoubleLimb cur = out[i + j] + static_cast<DoubleLimb>(a[i]) * a[j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out[i + n] = static_cast<std::uint64_t>(carry);
+  }
+  // ...doubled...
+  for (std::size_t k = 2 * n; k-- > 1;) {
+    out[k] = (out[k] << 1) | (out[k - 1] >> 63);
+  }
+  out[0] <<= 1;
+  // ...plus the diagonal.
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DoubleLimb cur = out[2 * i] + static_cast<DoubleLimb>(a[i]) * a[i] + carry;
+    out[2 * i] = static_cast<std::uint64_t>(cur);
+    cur = out[2 * i + 1] + (cur >> 64);
+    out[2 * i + 1] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+}
+
+/// acc[0..len) += x[0..xn); the caller guarantees the sum fits in len limbs.
+void add_into(std::uint64_t* acc, std::size_t len, const std::uint64_t* x, std::size_t xn) {
+  DoubleLimb carry = 0;
+  for (std::size_t j = 0; j < xn; ++j) {
+    const DoubleLimb cur = static_cast<DoubleLimb>(acc[j]) + x[j] + carry;
+    acc[j] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  for (std::size_t j = xn; carry && j < len; ++j) {
+    const DoubleLimb cur = static_cast<DoubleLimb>(acc[j]) + carry;
+    acc[j] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+}
+
+/// acc[0..len) -= x[0..xn); the caller guarantees acc >= x.
+void sub_into(std::uint64_t* acc, std::size_t len, const std::uint64_t* x, std::size_t xn) {
+  std::uint64_t borrow = 0;
+  for (std::size_t j = 0; j < xn; ++j) {
+    const SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(acc[j]) - x[j] - borrow;
+    acc[j] = static_cast<std::uint64_t>(diff);
+    borrow = diff < 0 ? 1 : 0;
+  }
+  for (std::size_t j = xn; borrow && j < len; ++j) {
+    const SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(acc[j]) - borrow;
+    acc[j] = static_cast<std::uint64_t>(diff);
+    borrow = diff < 0 ? 1 : 0;
+  }
+}
+
+/// out[0..an+1) = a[0..an) + b[0..bn), an >= bn; returns the written length.
+std::size_t add_full(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+                     std::size_t bn, std::uint64_t* out) {
+  DoubleLimb carry = 0;
+  for (std::size_t j = 0; j < an; ++j) {
+    const DoubleLimb cur = static_cast<DoubleLimb>(a[j]) + (j < bn ? b[j] : 0) + carry;
+    out[j] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  if (carry) {
+    out[an] = static_cast<std::uint64_t>(carry);
+    return an + 1;
+  }
+  return an;
+}
+
+std::size_t trimmed_len(const std::uint64_t* p, std::size_t len) {
+  while (len && p[len - 1] == 0) --len;
+  return len;
+}
+
+// out[0..an+bn) = a*b, an >= bn >= 1. scratch must hold >= 4*(an+bn) limbs.
+void mul_rec(const std::uint64_t* a, std::size_t an, const std::uint64_t* b, std::size_t bn,
+             std::uint64_t* out, std::uint64_t* scratch) {
+  if (bn < g_karatsuba_threshold) {
+    mul_basecase(a, an, b, bn, out);
+    return;
+  }
+  if (an > bn) {
+    // Unbalanced: chop `a` into bn-sized chunks, each multiplied balanced.
+    std::fill(out, out + an + bn, 0);
+    for (std::size_t pos = 0; pos < an; pos += bn) {
+      const std::size_t cl = std::min(bn, an - pos);
+      std::uint64_t* tmp = scratch;
+      if (cl >= bn) {
+        mul_rec(a + pos, cl, b, bn, tmp, scratch + cl + bn);
+      } else {
+        mul_rec(b, bn, a + pos, cl, tmp, scratch + cl + bn);
+      }
+      add_into(out + pos, an + bn - pos, tmp, cl + bn);
+    }
+    return;
+  }
+  // Balanced Karatsuba: a = a1·B^h + a0, b = b1·B^h + b0.
+  const std::size_t n = an;
+  const std::size_t h = n / 2;
+  const std::size_t hi = n - h;  // a1/b1 length (h or h+1)
+  mul_rec(a, h, b, h, out, scratch);                // z0 -> out[0..2h)
+  mul_rec(a + h, hi, b + h, hi, out + 2 * h, scratch);  // z2 -> out[2h..2n)
+  std::uint64_t* sa = scratch;
+  std::uint64_t* sb = scratch + hi + 1;
+  std::uint64_t* m = scratch + 2 * (hi + 1);
+  const std::size_t sa_len = add_full(a + h, hi, a, h, sa);
+  const std::size_t sb_len = add_full(b + h, hi, b, h, sb);
+  std::uint64_t* child = scratch + 2 * (hi + 1) + (sa_len + sb_len);
+  if (sa_len >= sb_len) {
+    mul_rec(sa, sa_len, sb, sb_len, m, child);
+  } else {
+    mul_rec(sb, sb_len, sa, sa_len, m, child);
+  }
+  std::size_t m_len = sa_len + sb_len;
+  // m = (a0+a1)(b0+b1) - z0 - z2 == a0·b1 + a1·b0 >= 0.
+  sub_into(m, m_len, out, 2 * h);
+  sub_into(m, m_len, out + 2 * h, 2 * hi);
+  m_len = trimmed_len(m, m_len);
+  add_into(out + h, 2 * n - h, m, m_len);
+}
+
+// out[0..2n) = a², n >= 1. scratch must hold >= 4*(2n) limbs.
+void sqr_rec(const std::uint64_t* a, std::size_t n, std::uint64_t* out, std::uint64_t* scratch) {
+  if (n < g_karatsuba_threshold) {
+    sqr_basecase(a, n, out);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const std::size_t hi = n - h;
+  sqr_rec(a, h, out, scratch);                // z0
+  sqr_rec(a + h, hi, out + 2 * h, scratch);   // z2
+  std::uint64_t* s = scratch;
+  std::uint64_t* m = scratch + (hi + 1);
+  const std::size_t s_len = add_full(a + h, hi, a, h, s);
+  sqr_rec(s, s_len, m, scratch + (hi + 1) + 2 * s_len);
+  std::size_t m_len = 2 * s_len;
+  sub_into(m, m_len, out, 2 * h);
+  sub_into(m, m_len, out + 2 * h, 2 * hi);
+  m_len = trimmed_len(m, m_len);
+  add_into(out + h, 2 * n - h, m, m_len);
+}
+
+}  // namespace
+
 Bignum Bignum::operator*(const Bignum& other) const {
   if (is_zero() || other.is_zero()) return Bignum{};
+  const std::size_t an = limbs_.size();
+  const std::size_t bn = other.limbs_.size();
   Bignum out;
-  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t a = limbs_[i];
-    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
-      std::uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+  out.limbs_.resize(an + bn);
+  if (std::min(an, bn) < g_karatsuba_threshold) {
+    if (an >= bn) {
+      mul_basecase(limbs_.data(), an, other.limbs_.data(), bn, out.limbs_.data());
+    } else {
+      mul_basecase(other.limbs_.data(), bn, limbs_.data(), an, out.limbs_.data());
     }
-    std::size_t k = i + other.limbs_.size();
-    while (carry) {
-      std::uint64_t cur = out.limbs_[k] + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
+  } else {
+    // Peak arena usage is ~4(an+bn) + O(log) across the recursion (the
+    // chunked path peaks at 5x); validated under ASan in the test suite.
+    std::vector<std::uint64_t> scratch(5 * (an + bn) + 1024);
+    if (an >= bn) {
+      mul_rec(limbs_.data(), an, other.limbs_.data(), bn, out.limbs_.data(), scratch.data());
+    } else {
+      mul_rec(other.limbs_.data(), bn, limbs_.data(), an, out.limbs_.data(), scratch.data());
     }
+  }
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::sqr() const {
+  if (is_zero()) return Bignum{};
+  const std::size_t n = limbs_.size();
+  Bignum out;
+  out.limbs_.resize(2 * n);
+  if (n < g_karatsuba_threshold) {
+    sqr_basecase(limbs_.data(), n, out.limbs_.data());
+  } else {
+    std::vector<std::uint64_t> scratch(8 * n + 1024);
+    sqr_rec(limbs_.data(), n, out.limbs_.data(), scratch.data());
   }
   out.trim();
   return out;
@@ -156,31 +373,30 @@ Bignum Bignum::operator*(const Bignum& other) const {
 
 Bignum Bignum::operator<<(std::size_t bits) const {
   if (is_zero()) return Bignum{};
-  const std::size_t limb_shift = bits / 32;
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
   Bignum out;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
-    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
-    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift) out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
   }
   out.trim();
   return out;
 }
 
 Bignum Bignum::operator>>(std::size_t bits) const {
-  const std::size_t limb_shift = bits / 32;
+  const std::size_t limb_shift = bits / 64;
   if (limb_shift >= limbs_.size()) return Bignum{};
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t bit_shift = bits % 64;
   Bignum out;
   out.limbs_.assign(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
-    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
-      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+      v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    out.limbs_[i] = v;
   }
   out.trim();
   return out;
@@ -188,7 +404,7 @@ Bignum Bignum::operator>>(std::size_t bits) const {
 
 Bignum::DivMod Bignum::divmod_binary(const Bignum& divisor) const {
   // Reference implementation (shift-subtract), kept as a property-test
-  // oracle for the Knuth-D fast path below.
+  // oracle for the Knuth-D and Burnikel-Ziegler fast paths.
   if (divisor.is_zero()) throw std::domain_error("Bignum division by zero");
   if (*this < divisor) return {Bignum{}, *this};
   const std::size_t shift = bit_length() - divisor.bit_length();
@@ -206,79 +422,79 @@ Bignum::DivMod Bignum::divmod_binary(const Bignum& divisor) const {
   return {quotient, remainder};
 }
 
-Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
-  // Knuth TAOCP vol. 2 Algorithm D (after Hacker's Delight divmnu), base 2^32.
-  // Needed at scale by the batch-GCD remainder tree (§5.3 shared-prime scan),
-  // where operands reach megabit sizes.
+Bignum::DivMod Bignum::divmod_knuth(const Bignum& divisor) const {
+  // Knuth TAOCP vol. 2 Algorithm D (after Hacker's Delight divmnu), base
+  // 2^64 with __int128 intermediates.
   if (divisor.is_zero()) throw std::domain_error("Bignum division by zero");
   if (*this < divisor) return {Bignum{}, *this};
   const std::size_t n = divisor.limbs_.size();
   if (n == 1) {
-    const std::uint32_t d = divisor.limbs_[0];
+    const std::uint64_t d = divisor.limbs_[0];
     Bignum q;
     q.limbs_.assign(limbs_.size(), 0);
-    std::uint64_t rem = 0;
+    DoubleLimb rem = 0;
     for (std::size_t i = limbs_.size(); i-- > 0;) {
-      const std::uint64_t cur = (rem << 32) | limbs_[i];
-      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      const DoubleLimb cur = (rem << 64) | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint64_t>(cur / d);
       rem = cur % d;
     }
     q.trim();
-    return {q, Bignum{rem}};
+    return {q, Bignum{static_cast<std::uint64_t>(rem)}};
   }
 
   const std::size_t m = limbs_.size();
   const int s = std::countl_zero(divisor.limbs_.back());
   // Normalized copies: vn has exactly n limbs with the top bit set.
-  std::vector<std::uint32_t> vn(n);
+  std::vector<std::uint64_t> vn(n);
   for (std::size_t i = n; i-- > 0;) {
-    std::uint32_t v = divisor.limbs_[i] << s;
-    if (s && i > 0) v |= divisor.limbs_[i - 1] >> (32 - s);
+    std::uint64_t v = divisor.limbs_[i] << s;
+    if (s && i > 0) v |= divisor.limbs_[i - 1] >> (64 - s);
     vn[i] = v;
   }
-  std::vector<std::uint32_t> un(m + 1, 0);
-  un[m] = s ? (limbs_[m - 1] >> (32 - s)) : 0;
+  std::vector<std::uint64_t> un(m + 1, 0);
+  un[m] = s ? (limbs_[m - 1] >> (64 - s)) : 0;
   for (std::size_t i = m; i-- > 0;) {
-    std::uint32_t v = limbs_[i] << s;
-    if (s && i > 0) v |= limbs_[i - 1] >> (32 - s);
+    std::uint64_t v = limbs_[i] << s;
+    if (s && i > 0) v |= limbs_[i - 1] >> (64 - s);
     un[i] = v;
   }
 
   Bignum q;
   q.limbs_.assign(m - n + 1, 0);
-  constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+  constexpr DoubleLimb kBase = static_cast<DoubleLimb>(1) << 64;
   for (std::size_t j = m - n + 1; j-- > 0;) {
-    const std::uint64_t num = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
-    std::uint64_t qhat = num / vn[n - 1];
-    std::uint64_t rhat = num % vn[n - 1];
+    const DoubleLimb num = (static_cast<DoubleLimb>(un[j + n]) << 64) | un[j + n - 1];
+    DoubleLimb qhat = num / vn[n - 1];
+    DoubleLimb rhat = num % vn[n - 1];
     while (qhat >= kBase ||
-           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+           qhat * vn[n - 2] > ((rhat << 64) | un[j + n - 2])) {
       --qhat;
       rhat += vn[n - 1];
       if (rhat >= kBase) break;
     }
     // Multiply and subtract.
-    std::int64_t k = 0;
-    std::int64_t t = 0;
+    SignedDoubleLimb k = 0;
+    SignedDoubleLimb t = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t p = qhat * vn[i];
-      t = static_cast<std::int64_t>(un[i + j]) - k - static_cast<std::int64_t>(p & 0xffffffffULL);
-      un[i + j] = static_cast<std::uint32_t>(t);
-      k = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+      const DoubleLimb p = qhat * vn[i];
+      t = static_cast<SignedDoubleLimb>(static_cast<DoubleLimb>(un[i + j])) - k -
+          static_cast<SignedDoubleLimb>(static_cast<std::uint64_t>(p));
+      un[i + j] = static_cast<std::uint64_t>(t);
+      k = static_cast<SignedDoubleLimb>(static_cast<std::uint64_t>(p >> 64)) - (t >> 64);
     }
-    t = static_cast<std::int64_t>(un[j + n]) - k;
-    un[j + n] = static_cast<std::uint32_t>(t);
-    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    t = static_cast<SignedDoubleLimb>(static_cast<DoubleLimb>(un[j + n])) - k;
+    un[j + n] = static_cast<std::uint64_t>(t);
+    q.limbs_[j] = static_cast<std::uint64_t>(qhat);
     if (t < 0) {
       // Rare add-back step.
       --q.limbs_[j];
-      std::uint64_t carry = 0;
+      DoubleLimb carry = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry;
-        un[i + j] = static_cast<std::uint32_t>(sum);
-        carry = sum >> 32;
+        const DoubleLimb sum = static_cast<DoubleLimb>(un[i + j]) + vn[i] + carry;
+        un[i + j] = static_cast<std::uint64_t>(sum);
+        carry = sum >> 64;
       }
-      un[j + n] += static_cast<std::uint32_t>(carry);
+      un[j + n] += static_cast<std::uint64_t>(carry);
     }
   }
   q.trim();
@@ -287,20 +503,106 @@ Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
   r.limbs_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     std::uint64_t v = un[i] >> s;
-    if (s && i + 1 < n + 1) v |= static_cast<std::uint64_t>(un[i + 1]) << (32 - s);
-    r.limbs_[i] = static_cast<std::uint32_t>(v);
+    if (s && i + 1 < n + 1) v |= un[i + 1] << (64 - s);
+    r.limbs_[i] = v;
   }
   r.trim();
   return {q, r};
 }
 
-std::uint32_t Bignum::mod_u32(std::uint32_t d) const {
-  if (d == 0) throw std::domain_error("mod by zero");
-  std::uint64_t rem = 0;
-  for (std::size_t i = limbs_.size(); i-- > 0;) {
-    rem = ((rem << 32) | limbs_[i]) % d;
+// ----------------------------------------------- Burnikel-Ziegler division
+
+// Recursive division (Burnikel & Ziegler, "Fast Recursive Division",
+// 1998) built on Karatsuba multiplication: the remainder tree of the §5.3
+// batch-GCD reduces megabit parents modulo megabit squares, where Knuth-D's
+// quadratic multiply-subtract dominates the whole analysis. The recursion
+// trades it for two half-size divisions plus one Karatsuba product.
+
+Bignum::DivMod Bignum::bz_div_2n_by_1n(const Bignum& a, const Bignum& b, std::size_t n) {
+  // Preconditions: b has exactly n limbs with the top bit set; a < b·2^(64n).
+  if (n % 2 == 1 || n <= kBurnikelThresholdLimbs) return a.divmod_knuth(b);
+  const std::size_t h = n / 2;
+  const Bignum a_hi = a >> (64 * h);
+  const Bignum a_lo = a.slice_limbs(0, h);
+  DivMod hi = bz_div_3h_by_2h(a_hi, b, h);
+  DivMod lo = bz_div_3h_by_2h((hi.remainder << (64 * h)) + a_lo, b, h);
+  return {(hi.quotient << (64 * h)) + lo.quotient, std::move(lo.remainder)};
+}
+
+Bignum::DivMod Bignum::bz_div_3h_by_2h(const Bignum& a, const Bignum& b, std::size_t h) {
+  // Preconditions: b has 2h limbs with the top bit set; a < b·2^(64h).
+  const Bignum b1 = b >> (64 * h);  // h limbs, top bit set
+  const Bignum b2 = b.slice_limbs(0, h);
+  const Bignum a12 = a >> (64 * h);
+  const Bignum a3 = a.slice_limbs(0, h);
+  Bignum q, r1;
+  if (a >> (64 * 2 * h) < b1) {
+    DivMod qr = bz_div_2n_by_1n(a12, b1, h);
+    q = std::move(qr.quotient);
+    r1 = std::move(qr.remainder);
+  } else {
+    // Quotient estimate saturates at 2^(64h) - 1; a12 >= b1·2^(64h) here,
+    // so r1 = a12 - (2^(64h) - 1)·b1 = a12 - b1·2^(64h) + b1 is exact.
+    q.limbs_.assign(h, ~std::uint64_t{0});
+    r1 = a12 - (b1 << (64 * h)) + b1;
   }
-  return static_cast<std::uint32_t>(rem);
+  const Bignum d = q * b2;
+  Bignum rhat = (r1 << (64 * h)) + a3;
+  while (rhat < d) {  // at most twice (B-Z Lemma 2)
+    q = q - Bignum{1};
+    rhat = rhat + b;
+  }
+  return {std::move(q), rhat - d};
+}
+
+Bignum::DivMod Bignum::divmod_burnikel(const Bignum& divisor) const {
+  const std::size_t n0 = divisor.limbs_.size();
+  // Pad the divisor to n = m·2^t limbs (kBZ/2 < m <= kBZ) so the
+  // recursion halves cleanly down to the Knuth base case, then normalize
+  // the top bit. Both operands shift together; only the remainder needs
+  // shifting back.
+  std::size_t t = 0;
+  while (((n0 + (std::size_t{1} << t) - 1) >> t) > kBurnikelThresholdLimbs) ++t;
+  const std::size_t n = ((n0 + (std::size_t{1} << t) - 1) >> t) << t;
+  const std::size_t shift =
+      64 * (n - n0) + static_cast<std::size_t>(std::countl_zero(divisor.limbs_.back()));
+  const Bignum b = divisor << shift;
+  const Bignum a = *this << shift;
+
+  // Blockwise long division with 2^(64n)-sized "digits".
+  const std::size_t blocks = (a.limbs_.size() + n - 1) / n;
+  Bignum q, r;
+  for (std::size_t bi = blocks; bi-- > 0;) {
+    DivMod part = bz_div_2n_by_1n((r << (64 * n)) + a.slice_limbs(bi * n, n), b, n);
+    q = (q << (64 * n)) + part.quotient;
+    r = std::move(part.remainder);
+  }
+  return {std::move(q), r >> shift};
+}
+
+Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("Bignum division by zero");
+  if (*this < divisor) return {Bignum{}, *this};
+  const std::size_t n = divisor.limbs_.size();
+  // The recursion only pays when both the divisor and the quotient are
+  // large; Knuth-D is O((m-n)·n) and wins whenever either is small.
+  if (n < kBurnikelThresholdLimbs || limbs_.size() - n < kBurnikelThresholdLimbs) {
+    return divmod_knuth(divisor);
+  }
+  return divmod_burnikel(divisor);
+}
+
+std::uint64_t Bignum::mod_u64(std::uint64_t d) const {
+  if (d == 0) throw std::domain_error("mod by zero");
+  DoubleLimb rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % d;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+std::uint32_t Bignum::mod_u32(std::uint32_t d) const {
+  return static_cast<std::uint32_t>(mod_u64(d));
 }
 
 Bignum Bignum::gcd(Bignum a, Bignum b) {
@@ -363,69 +665,335 @@ Bignum Bignum::mod_inverse(const Bignum& a, const Bignum& m) {
 Montgomery::Montgomery(const Bignum& odd_modulus) : n_(odd_modulus) {
   if (!n_.is_odd()) throw std::domain_error("Montgomery modulus must be odd");
   k_ = n_.limbs_.size();
-  // n0_inv = -n^{-1} mod 2^32 via Newton-Hensel lifting.
-  const std::uint32_t n0 = n_.limbs_[0];
-  std::uint32_t x = n0;  // correct mod 2^3 already (odd)
+  // n0_inv = -n^{-1} mod 2^64 via Newton-Hensel lifting: x = n0 is correct
+  // mod 2^3 (odd), each step doubles the valid bits, 5 steps reach 96 > 64.
+  const std::uint64_t n0 = n_.limbs_[0];
+  std::uint64_t x = n0;
   for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
-  n0_inv_ = ~x + 1;  // -x mod 2^32
-  // rr_ = R^2 mod n where R = 2^(32k): start from 1 and double 64k times.
-  Bignum r = Bignum{1} << (32 * k_);
-  rr_ = (r % n_);
-  rr_ = (rr_ * rr_) % n_;
+  n0_inv_ = ~x + 1;  // -x mod 2^64
+  // rr_ = R^2 mod n where R = 2^(64k).
+  const Bignum r = (Bignum{1} << (64 * k_)) % n_;
+  rr_ = r.sqr() % n_;
+  one_ = r;
 }
 
-Bignum Montgomery::mul(const Bignum& a_mont, const Bignum& b_mont) const {
-  // CIOS (coarsely integrated operand scanning).
-  std::vector<std::uint32_t> t(k_ + 2, 0);
-  const auto& a = a_mont.limbs_;
-  const auto& b = b_mont.limbs_;
+Bignum Montgomery::reduce(const Bignum& t_in) const {
+  // Separated REDC: t < n*R in, t*R^{-1} mod n out. Fed with Karatsuba
+  // products/squares for large moduli, where it beats interleaved CIOS.
+  if (t_in.limbs_.size() > 2 * k_) {
+    throw std::domain_error("Montgomery::reduce operand exceeds n*R");
+  }
+  std::vector<std::uint64_t> t(2 * k_ + 1, 0);
+  std::copy(t_in.limbs_.begin(), t_in.limbs_.end(), t.begin());
   const auto& n = n_.limbs_;
   for (std::size_t i = 0; i < k_; ++i) {
-    const std::uint64_t ai = i < a.size() ? a[i] : 0;
-    std::uint64_t carry = 0;
+    const std::uint64_t m = t[i] * n0_inv_;
+    DoubleLimb carry = 0;
     for (std::size_t j = 0; j < k_; ++j) {
-      const std::uint64_t bj = j < b.size() ? b[j] : 0;
-      const std::uint64_t cur = t[j] + ai * bj + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      const DoubleLimb cur = t[i + j] + static_cast<DoubleLimb>(m) * n[j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
     }
-    std::uint64_t cur = t[k_] + carry;
-    t[k_] = static_cast<std::uint32_t>(cur);
-    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
-
-    const std::uint32_t m = t[0] * n0_inv_;
-    carry = (static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(m) * n[0]) >> 32;
-    for (std::size_t j = 1; j < k_; ++j) {
-      const std::uint64_t cur2 = t[j] + static_cast<std::uint64_t>(m) * n[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(cur2);
-      carry = cur2 >> 32;
+    for (std::size_t l = i + k_; carry; ++l) {
+      const DoubleLimb cur = t[l] + carry;
+      t[l] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
     }
-    cur = t[k_] + carry;
-    t[k_ - 1] = static_cast<std::uint32_t>(cur);
-    t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
-    t[k_ + 1] = 0;
   }
   Bignum out;
-  out.limbs_.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_ + 1));
+  out.limbs_.assign(t.begin() + static_cast<std::ptrdiff_t>(k_), t.end());
   out.trim();
   if (out >= n_) out = out - n_;
   return out;
 }
 
+namespace {
+
+// Raw CIOS (coarsely integrated operand scanning) Montgomery multiply,
+// base 2^64: a, b are k-limb zero-padded arrays, t is k+2 scratch, and the
+// canonical (< n) result lands in out — which may alias a and/or b, since
+// it is only written at the end. Zero allocations: this is the inner loop
+// of every modexp, squared away 2048+ times per RSA operation.
+void cios_mul(const std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* n,
+              std::size_t k, std::uint64_t n0_inv, std::uint64_t* out,
+              std::uint64_t* __restrict t) {
+  std::fill(t, t + k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t ai = a[i];
+    DoubleLimb carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const DoubleLimb cur = t[j] + static_cast<DoubleLimb>(ai) * b[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    DoubleLimb cur = t[k] + carry;
+    t[k] = static_cast<std::uint64_t>(cur);
+    t[k + 1] = static_cast<std::uint64_t>(cur >> 64);
+
+    const std::uint64_t m = t[0] * n0_inv;
+    carry = (static_cast<DoubleLimb>(t[0]) + static_cast<DoubleLimb>(m) * n[0]) >> 64;
+    for (std::size_t j = 1; j < k; ++j) {
+      const DoubleLimb cur2 = t[j] + static_cast<DoubleLimb>(m) * n[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur2);
+      carry = cur2 >> 64;
+    }
+    cur = t[k] + carry;
+    t[k - 1] = static_cast<std::uint64_t>(cur);
+    t[k] = t[k + 1] + static_cast<std::uint64_t>(cur >> 64);
+    t[k + 1] = 0;
+  }
+  // Conditional subtract: t[0..k] < 2n here.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<std::uint64_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + k, out);
+  }
+}
+
+// Separated REDC on a raw 2k-limb product: t becomes t·R^{-1} mod n in
+// out (canonical). `top` is the pending carry above t[2k-1] accumulated by
+// the caller (always 0 on entry here).
+void redc_flat(std::uint64_t* __restrict t, const std::uint64_t* n, std::size_t k,
+               std::uint64_t n0_inv, std::uint64_t* out) {
+  std::uint64_t top = 0;  // carry at position i+k, folded across rows
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t m = t[i] * n0_inv;
+    DoubleLimb carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const DoubleLimb cur = t[i + j] + static_cast<DoubleLimb>(m) * n[j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    const DoubleLimb cur = static_cast<DoubleLimb>(t[i + k]) + carry + top;
+    t[i + k] = static_cast<std::uint64_t>(cur);
+    top = static_cast<std::uint64_t>(cur >> 64);
+  }
+  // Result = t[k..2k) with `top` above it; one conditional subtract.
+  bool ge = top != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[k + i] != n[i]) {
+        ge = t[k + i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(t[k + i]) - n[i] - borrow;
+      out[i] = static_cast<std::uint64_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+  } else {
+    std::copy(t + k, t + 2 * k, out);
+  }
+}
+
+// Montgomery squaring via the dedicated square + separated REDC: ~1.5k²
+// limb products against CIOS's 2k² — squarings are >80% of a fixed-window
+// exponentiation, so this is the modexp hot path. big is 2k scratch.
+void mont_sqr_flat(const std::uint64_t* a, const std::uint64_t* n, std::size_t k,
+                   std::uint64_t n0_inv, std::uint64_t* out, std::uint64_t* __restrict big) {
+  sqr_basecase(a, k, big);
+  redc_flat(big, n, k, n0_inv, out);
+}
+
+// x = 2x mod n in place (x < n canonical in, canonical out). Doubling in
+// the Montgomery domain is just a shift: (x·2)·R == (x·R)·2.
+void double_mod_flat(std::uint64_t* x, const std::uint64_t* n, std::size_t k) {
+  const std::uint64_t top = x[k - 1] >> 63;
+  for (std::size_t i = k; i-- > 1;) {
+    x[i] = (x[i] << 1) | (x[i - 1] >> 63);
+  }
+  x[0] <<= 1;
+  bool ge = top != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (x[i] != n[i]) {
+        ge = x[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const SignedDoubleLimb diff = static_cast<SignedDoubleLimb>(x[i]) - n[i] - borrow;
+      x[i] = static_cast<std::uint64_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+Bignum Montgomery::mul(const Bignum& a_mont, const Bignum& b_mont) const {
+  // Montgomery values are canonical (< n, so at most k_ limbs); enforce it
+  // rather than silently scribbling past the flat buffers below.
+  if (a_mont.limbs_.size() > k_ || b_mont.limbs_.size() > k_) {
+    throw std::domain_error("Montgomery::mul operand wider than modulus");
+  }
+  if (k_ >= kMontSeparatedLimbs) return reduce(a_mont * b_mont);
+  std::vector<std::uint64_t> a(k_, 0), b(k_, 0), out(k_), t(k_ + 2);
+  std::copy(a_mont.limbs_.begin(), a_mont.limbs_.end(), a.begin());
+  std::copy(b_mont.limbs_.begin(), b_mont.limbs_.end(), b.begin());
+  cios_mul(a.data(), b.data(), n_.limbs_.data(), k_, n0_inv_, out.data(), t.data());
+  Bignum result;
+  result.limbs_ = std::move(out);
+  result.trim();
+  return result;
+}
+
+Bignum Montgomery::sqr(const Bignum& a_mont) const {
+  if (a_mont.limbs_.size() > k_) {
+    throw std::domain_error("Montgomery::sqr operand wider than modulus");
+  }
+  if (k_ >= kMontSeparatedLimbs) return reduce(a_mont.sqr());
+  // Same flat square + separated-REDC kernel the modexp loop uses (~25%
+  // fewer limb products than CIOS) — Miller-Rabin's x² chain lands here.
+  std::vector<std::uint64_t> a(k_, 0), out(k_), big(2 * k_);
+  std::copy(a_mont.limbs_.begin(), a_mont.limbs_.end(), a.begin());
+  mont_sqr_flat(a.data(), n_.limbs_.data(), k_, n0_inv_, out.data(), big.data());
+  Bignum result;
+  result.limbs_ = std::move(out);
+  result.trim();
+  return result;
+}
+
 Bignum Montgomery::to_mont(const Bignum& x) const { return mul(x % n_, rr_); }
 
-Bignum Montgomery::from_mont(const Bignum& x) const { return mul(x, Bignum{1}); }
+Bignum Montgomery::from_mont(const Bignum& x) const { return reduce(x); }
+
+namespace {
+
+// Fixed-window size for an exponent of `bits` bits: 2^w table entries vs.
+// one multiply every w squarings — the classic k-ary trade-off.
+std::size_t window_bits(std::size_t bits) {
+  if (bits < 16) return 1;
+  if (bits < 64) return 2;
+  if (bits < 256) return 3;
+  if (bits < 1024) return 4;
+  return 5;
+}
+
+}  // namespace
+
+Bignum Montgomery::pow_to_mont(const Bignum& base, const Bignum& exp) const {
+  if (exp.is_zero()) return one_;
+  const std::size_t bits = exp.bit_length();
+
+  if (base == Bignum{2} && k_ < kMontSeparatedLimbs && n_ > Bignum{2}) {
+    // Base-2 fast path: left-to-right binary with the window multiply
+    // replaced by a doubling (shift + conditional subtract). Miller-Rabin
+    // fronts every candidate with a base-2 test, so most prime-generation
+    // modexps take this branch; results are exactly 2^exp mod n.
+    std::vector<std::uint64_t> result(k_, 0);
+    std::vector<std::uint64_t> big(2 * k_);
+    const std::uint64_t* n = n_.limbs_.data();
+    const Bignum two_m = to_mont(Bignum{2});
+    std::copy(two_m.limbs_.begin(), two_m.limbs_.end(), result.begin());
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      mont_sqr_flat(result.data(), n, k_, n0_inv_, result.data(), big.data());
+      if (exp.bit(i)) double_mod_flat(result.data(), n, k_);
+    }
+    Bignum out;
+    out.limbs_ = std::move(result);
+    out.trim();
+    return out;
+  }
+
+  const std::size_t w = window_bits(bits);
+  const std::size_t digits = (bits + w - 1) / w;
+
+  if (k_ >= kMontSeparatedLimbs) {
+    // Huge moduli: Bignum-level window with Karatsuba/REDC multiplies.
+    std::vector<Bignum> table(std::size_t{1} << w);
+    table[0] = one_;
+    table[1] = to_mont(base);
+    for (std::size_t i = 2; i < table.size(); ++i) table[i] = mul(table[i - 1], table[1]);
+    Bignum result;
+    bool started = false;
+    for (std::size_t d = digits; d-- > 0;) {
+      if (started) {
+        for (std::size_t s = 0; s < w; ++s) result = sqr(result);
+      }
+      std::size_t digit = 0;
+      for (std::size_t b = w; b-- > 0;) {
+        digit = (digit << 1) | static_cast<std::size_t>(exp.bit(d * w + b));
+      }
+      if (!started) {
+        if (digit == 0) continue;  // leading zero digits
+        result = table[digit];
+        started = true;
+      } else if (digit != 0) {
+        result = mul(result, table[digit]);
+      }
+    }
+    return result;
+  }
+
+  // RSA-sized moduli: flat k-limb buffers, zero allocations in the loop.
+  // The window table holds 2^w entries of k limbs each; one CIOS scratch
+  // buffer serves every multiply and squaring.
+  std::vector<std::uint64_t> table((std::size_t{1} << w) * k_, 0);
+  std::vector<std::uint64_t> result(k_, 0);
+  std::vector<std::uint64_t> t(k_ + 2);
+  std::vector<std::uint64_t> big(2 * k_);
+  const std::uint64_t* n = n_.limbs_.data();
+  std::copy(one_.limbs_.begin(), one_.limbs_.end(), table.begin());
+  const Bignum base_m = to_mont(base);
+  std::copy(base_m.limbs_.begin(), base_m.limbs_.end(),
+            table.begin() + static_cast<std::ptrdiff_t>(k_));
+  for (std::size_t i = 2; i < (std::size_t{1} << w); ++i) {
+    cios_mul(&table[(i - 1) * k_], &table[k_], n, k_, n0_inv_, &table[i * k_], t.data());
+  }
+  bool started = false;
+  for (std::size_t d = digits; d-- > 0;) {
+    if (started) {
+      for (std::size_t s = 0; s < w; ++s) {
+        mont_sqr_flat(result.data(), n, k_, n0_inv_, result.data(), big.data());
+      }
+    }
+    std::size_t digit = 0;
+    for (std::size_t b = w; b-- > 0;) {
+      digit = (digit << 1) | static_cast<std::size_t>(exp.bit(d * w + b));
+    }
+    if (!started) {
+      if (digit == 0) continue;  // leading zero digits
+      std::copy(table.begin() + static_cast<std::ptrdiff_t>(digit * k_),
+                table.begin() + static_cast<std::ptrdiff_t>((digit + 1) * k_), result.begin());
+      started = true;
+    } else if (digit != 0) {
+      cios_mul(result.data(), &table[digit * k_], n, k_, n0_inv_, result.data(), t.data());
+    }
+  }
+  Bignum out;
+  out.limbs_ = std::move(result);
+  out.trim();
+  return out;
+}
 
 Bignum Montgomery::pow(const Bignum& base, const Bignum& exp) const {
   if (exp.is_zero()) return Bignum{1} % n_;
-  Bignum result = to_mont(Bignum{1});
-  Bignum b = to_mont(base);
-  const std::size_t bits = exp.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    result = mul(result, result);
-    if (exp.bit(i)) result = mul(result, b);
-  }
-  return from_mont(result);
+  return from_mont(pow_to_mont(base, exp));
 }
 
 Bignum Bignum::mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod) {
@@ -440,7 +1008,7 @@ Bignum Bignum::mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod)
   Bignum b = base % mod;
   const std::size_t bits = exp.bit_length();
   for (std::size_t i = bits; i-- > 0;) {
-    result = (result * result) % mod;
+    result = result.sqr() % mod;
     if (exp.bit(i)) result = (result * b) % mod;
   }
   return result;
@@ -449,11 +1017,22 @@ Bignum Bignum::mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod)
 // -------------------------------------------------------------- primes ----
 
 Bignum Bignum::random_bits(Rng& rng, std::size_t bits) {
+  // One rng.next() per 32-bit word, low halves only: the draw pattern of
+  // the 32-bit-limb core this file replaced. Changing it would silently
+  // regenerate every seed's primes, keys and certificates.
+  const std::size_t words = (bits + 31) / 32;
   Bignum out;
-  out.limbs_.assign((bits + 31) / 32, 0);
-  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
-  const std::size_t excess = out.limbs_.size() * 32 - bits;
-  if (excess) out.limbs_.back() &= (~std::uint32_t{0}) >> excess;
+  out.limbs_.assign((words + 1) / 2, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t draw = rng.next() & 0xffffffffULL;
+    out.limbs_[w / 2] |= draw << (32 * (w % 2));
+  }
+  const std::size_t excess = words * 32 - bits;
+  if (excess && words) {
+    const std::size_t top_word = words - 1;
+    const std::uint64_t mask = (0xffffffffULL >> excess) << (32 * (top_word % 2));
+    out.limbs_[top_word / 2] &= (top_word % 2) ? (mask | 0xffffffffULL) : mask;
+  }
   out.trim();
   return out;
 }
@@ -485,27 +1064,59 @@ const std::vector<std::uint32_t>& small_primes() {
   return primes;
 }
 
-bool mr_round(const Montgomery& mont, const Bignum& n, const Bignum& n_minus_1, const Bignum& d,
-              std::size_t r, const Bignum& base) {
-  Bignum x = mont.pow(base, d);
-  if (x == Bignum{1} || x == n_minus_1) return true;
-  for (std::size_t i = 1; i < r; ++i) {
-    x = (x * x) % n;
-    if (x == n_minus_1) return true;
-    if (x == Bignum{1}) return false;
+// The same primes packed greedily into 64-bit products: one multi-limb
+// mod per pack instead of one per prime cuts the trial-division cost of
+// prime generation ~4-5x (most candidates die here, before any modexp).
+struct SmallPrimePack {
+  std::uint64_t product;
+  std::vector<std::uint32_t> primes;
+};
+
+const std::vector<SmallPrimePack>& small_prime_packs() {
+  static const std::vector<SmallPrimePack> packs = [] {
+    std::vector<SmallPrimePack> out;
+    SmallPrimePack pack{1, {}};
+    for (const std::uint32_t p : small_primes()) {
+      if (pack.product > (~std::uint64_t{0}) / p) {
+        out.push_back(std::move(pack));
+        pack = {1, {}};
+      }
+      pack.product *= p;
+      pack.primes.push_back(p);
+    }
+    if (!pack.primes.empty()) out.push_back(std::move(pack));
+    return out;
+  }();
+  return packs;
+}
+
+// Requires n > every small prime (so divisibility == compositeness).
+bool has_small_prime_factor(const Bignum& n) {
+  for (const auto& pack : small_prime_packs()) {
+    const std::uint64_t r = n.mod_u64(pack.product);
+    for (const std::uint32_t p : pack.primes) {
+      if (r % p == 0) return true;
+    }
   }
   return false;
 }
 
-}  // namespace
-
-bool Bignum::is_probable_prime(const Bignum& n, int rounds, Rng& rng) {
-  if (n < Bignum{2}) return false;
-  for (std::uint32_t p : small_primes()) {
-    if (n == Bignum{p}) return true;
-    if (n.mod_u32(p) == 0) return false;
+bool mr_round(const Montgomery& mont, const Bignum& minus1_mont, const Bignum& d, std::size_t r,
+              const Bignum& base) {
+  // Entirely in the Montgomery domain: representations are canonical
+  // (reduced below n), so equality there is equality mod n.
+  Bignum x = mont.pow_to_mont(base, d);
+  if (x == mont.one_mont() || x == minus1_mont) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = mont.sqr(x);
+    if (x == minus1_mont) return true;
+    if (x == mont.one_mont()) return false;
   }
-  // n odd and > all small primes here.
+  return false;
+}
+
+// Miller-Rabin proper; the caller has already trial-divided n.
+bool miller_rabin(const Bignum& n, int rounds, Rng& rng) {
   const Bignum n_minus_1 = n - Bignum{1};
   Bignum d = n_minus_1;
   std::size_t r = 0;
@@ -514,12 +1125,30 @@ bool Bignum::is_probable_prime(const Bignum& n, int rounds, Rng& rng) {
     ++r;
   }
   Montgomery mont(n);
-  if (!mr_round(mont, n, n_minus_1, d, r, Bignum{2})) return false;
+  const Bignum minus1_mont = mont.to_mont(n_minus_1);
+  if (!mr_round(mont, minus1_mont, d, r, Bignum{2})) return false;
   for (int i = 0; i < rounds; ++i) {
-    Bignum base = random_below(rng, n - Bignum{3}) + Bignum{2};  // [2, n-2]
-    if (!mr_round(mont, n, n_minus_1, d, r, base)) return false;
+    Bignum base = Bignum::random_below(rng, n - Bignum{3}) + Bignum{2};  // [2, n-2]
+    if (!mr_round(mont, minus1_mont, d, r, base)) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool Bignum::is_probable_prime(const Bignum& n, int rounds, Rng& rng) {
+  if (n < Bignum{2}) return false;
+  if (n.bit_length() <= 13) {
+    // Small enough that the trial-division primes cover sqrt(n).
+    const std::uint64_t v = n.low_u64();
+    for (const std::uint32_t p : small_primes()) {
+      if (static_cast<std::uint64_t>(p) * p > v) return true;
+      if (v % p == 0) return false;
+    }
+    return true;
+  }
+  if (has_small_prime_factor(n)) return false;
+  return miller_rabin(n, rounds, rng);
 }
 
 Bignum Bignum::generate_prime(Rng& rng, std::size_t bits, int mr_rounds) {
@@ -529,16 +1158,11 @@ Bignum Bignum::generate_prime(Rng& rng, std::size_t bits, int mr_rounds) {
     candidate.set_bit(bits - 1);
     candidate.set_bit(bits - 2);  // keep products at full length
     candidate.set_bit(0);
-    // Cheap trial division first.
-    bool composite = false;
-    for (std::uint32_t p : small_primes()) {
-      if (candidate.mod_u32(p) == 0) {
-        composite = true;
-        break;
-      }
-    }
-    if (composite) continue;
-    if (is_probable_prime(candidate, mr_rounds, rng)) return candidate;
+    // The packed sieve rejects ~88% of candidates before any modexp; the
+    // candidate order (and every Rng draw) is identical to the pre-sieve
+    // path, so generated primes are unchanged for a given seed.
+    if (has_small_prime_factor(candidate)) continue;
+    if (miller_rabin(candidate, mr_rounds, rng)) return candidate;
   }
 }
 

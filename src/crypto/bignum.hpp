@@ -1,10 +1,22 @@
 // Arbitrary-precision unsigned integers for RSA.
 //
-// Scope: exactly what the study needs — modular exponentiation (Montgomery),
-// Miller-Rabin prime generation for 512..2048-bit primes, GCD/modular
-// inverse, and byte-string conversions for DER. Not constant-time: this
-// library generates and analyses a *synthetic* certificate corpus; it does
-// not protect secrets.
+// Scope: exactly what the study needs — modular exponentiation
+// (Montgomery, fixed-window), Miller-Rabin prime generation for
+// 512..2048-bit primes, GCD/modular inverse, and byte-string conversions
+// for DER. Not constant-time: this library generates and analyses a
+// *synthetic* certificate corpus; it does not protect secrets.
+//
+// Representation: little-endian 64-bit limbs with __int128 carry chains.
+// Multiplication is schoolbook below kKaratsubaThresholdLimbs and
+// Karatsuba above (with a dedicated squaring routine); division is Knuth
+// TAOCP Algorithm D in base 2^64 below kBurnikelThresholdLimbs and
+// Burnikel-Ziegler recursive division above, so the §5.3 batch-GCD
+// remainder tree stops paying quadratic divmod on its megabit nodes.
+//
+// Determinism invariant: random_bits() draws one Rng::next() per 32-bit
+// word (low halves only) — the exact consumption pattern of the original
+// 32-bit-limb core — so a given seed keeps producing bit-identical primes,
+// keys and certificates across the 64-bit conversion.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +47,7 @@ class Bignum {
   std::size_t bit_length() const;
   bool bit(std::size_t i) const;
   void set_bit(std::size_t i);
-  std::uint64_t low_u64() const;
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
 
   int compare(const Bignum& other) const;  // -1 / 0 / +1
   bool operator==(const Bignum& other) const { return compare(other) == 0; }
@@ -49,41 +61,63 @@ class Bignum {
   /// Requires *this >= other.
   Bignum operator-(const Bignum& other) const;
   Bignum operator*(const Bignum& other) const;
+  /// this², via the dedicated squaring routine (≈2/3 the limb products of
+  /// a general multiply); Karatsuba-recursive above the threshold.
+  Bignum sqr() const;
   Bignum operator<<(std::size_t bits) const;
   Bignum operator>>(std::size_t bits) const;
 
   struct DivMod;  // {quotient, remainder}; defined after the class
+  /// Dispatches Knuth-D (small/unbalanced) or Burnikel-Ziegler (large).
   DivMod divmod(const Bignum& divisor) const;
-  /// Slow reference division (test oracle for the Knuth-D fast path).
+  /// Schoolbook Knuth Algorithm D in base 2^64; the Burnikel-Ziegler base
+  /// case, exposed as a cross-check oracle for the recursive path.
+  DivMod divmod_knuth(const Bignum& divisor) const;
+  /// Slow reference division (shift-subtract test oracle).
   DivMod divmod_binary(const Bignum& divisor) const;
   Bignum operator/(const Bignum& d) const;
   Bignum operator%(const Bignum& d) const;
   std::uint32_t mod_u32(std::uint32_t d) const;
+  std::uint64_t mod_u64(std::uint64_t d) const;
 
   static Bignum gcd(Bignum a, Bignum b);
   /// a^{-1} mod m; throws std::domain_error if gcd(a, m) != 1.
   static Bignum mod_inverse(const Bignum& a, const Bignum& m);
-  /// base^exp mod mod. Montgomery ladder for odd moduli, generic otherwise.
+  /// base^exp mod mod. Fixed-window Montgomery for odd moduli, generic
+  /// square-and-multiply otherwise.
   static Bignum mod_pow(const Bignum& base, const Bignum& exp, const Bignum& mod);
 
   /// Uniform in [0, 2^bits) with exactly `bits` significant bits requested
-  /// by callers that set the top bit themselves.
+  /// by callers that set the top bit themselves. Consumes one Rng draw per
+  /// 32-bit word (see the determinism invariant in the file header).
   static Bignum random_bits(Rng& rng, std::size_t bits);
   static Bignum random_below(Rng& rng, const Bignum& bound);
 
   /// Miller-Rabin with `rounds` random bases (plus base 2 first — it
-  /// eliminates nearly all composites immediately).
+  /// eliminates nearly all composites immediately), fronted by packed
+  /// small-prime trial division.
   static bool is_probable_prime(const Bignum& n, int rounds, Rng& rng);
   /// Random prime with the top two bits set (so p*q has exactly 2*bits bits).
   static Bignum generate_prime(Rng& rng, std::size_t bits, int mr_rounds = 12);
 
-  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+  /// Schoolbook→Karatsuba crossover, in limbs. The setter is a test/bench
+  /// hook (threshold-crossing equivalence checks); it is not synchronized,
+  /// so only touch it from single-threaded test code.
+  static std::size_t karatsuba_threshold();
+  static void set_karatsuba_threshold(std::size_t limbs);
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
 
  private:
   friend class Montgomery;
   void trim();
-  // Little-endian 32-bit limbs; empty vector == zero.
-  std::vector<std::uint32_t> limbs_;
+  /// Limbs [from, from+count) as a trimmed value; out-of-range limbs are 0.
+  Bignum slice_limbs(std::size_t from, std::size_t count) const;
+  static DivMod bz_div_2n_by_1n(const Bignum& a, const Bignum& b, std::size_t n);
+  static DivMod bz_div_3h_by_2h(const Bignum& a, const Bignum& b, std::size_t h);
+  DivMod divmod_burnikel(const Bignum& divisor) const;
+  // Little-endian 64-bit limbs; empty vector == zero.
+  std::vector<std::uint64_t> limbs_;
 };
 
 struct Bignum::DivMod {
@@ -95,7 +129,10 @@ inline Bignum Bignum::operator/(const Bignum& d) const { return divmod(d).quotie
 inline Bignum Bignum::operator%(const Bignum& d) const { return divmod(d).remainder; }
 
 /// Montgomery multiplication context for a fixed odd modulus. Used by
-/// mod_pow and Miller-Rabin; exposed for RSA-CRT.
+/// mod_pow and Miller-Rabin; exposed for RSA-CRT. Small moduli use a
+/// 64-bit CIOS multiply; large ones a Karatsuba product plus separated
+/// REDC. pow() is fixed-window (k-ary) with a window sized from the
+/// exponent length.
 class Montgomery {
  public:
   explicit Montgomery(const Bignum& odd_modulus);
@@ -103,13 +140,21 @@ class Montgomery {
   Bignum to_mont(const Bignum& x) const;
   Bignum from_mont(const Bignum& x) const;
   Bignum mul(const Bignum& a_mont, const Bignum& b_mont) const;
+  Bignum sqr(const Bignum& a_mont) const;
   Bignum pow(const Bignum& base, const Bignum& exp) const;
+  /// pow() without the final conversion — the result stays in Montgomery
+  /// form (Miller-Rabin keeps squaring it there).
+  Bignum pow_to_mont(const Bignum& base, const Bignum& exp) const;
+  /// R mod n — the Montgomery representation of 1 (canonical, comparable).
+  const Bignum& one_mont() const { return one_; }
   const Bignum& modulus() const { return n_; }
 
  private:
+  Bignum reduce(const Bignum& t) const;  // REDC of t < n*R
   Bignum n_;
-  Bignum rr_;  // R^2 mod n, R = 2^(32*k)
-  std::uint32_t n0_inv_ = 0;
+  Bignum rr_;   // R^2 mod n, R = 2^(64*k)
+  Bignum one_;  // R mod n
+  std::uint64_t n0_inv_ = 0;
   std::size_t k_ = 0;
 };
 

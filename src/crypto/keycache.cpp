@@ -1,8 +1,12 @@
 #include "crypto/keycache.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include "util/thread_pool.hpp"
 
 namespace opcua_study {
 
@@ -29,9 +33,22 @@ KeyFactory::KeyFactory(std::uint64_t seed, std::string cache_path)
 
 KeyFactory::~KeyFactory() { flush(); }
 
+std::size_t KeyFactory::generated() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return generated_;
+}
+
+std::size_t KeyFactory::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
 void KeyFactory::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (cache_path_.empty() || !dirty_) return;
-  // Rewrite the whole file for our seed while preserving other seeds' rows.
+  // Preserve other seeds' rows, then write everything to a temp file and
+  // rename it into place — the old in-place truncate lost the entire
+  // corpus (every seed's primes) when a run died mid-flush.
   std::vector<std::string> foreign;
   {
     std::ifstream in(cache_path_);
@@ -42,11 +59,23 @@ void KeyFactory::flush() {
       if ((fields >> file_seed) && file_seed != seed_) foreign.push_back(line);
     }
   }
-  std::ofstream out(cache_path_, std::ios::trunc);
-  for (const auto& line : foreign) out << line << '\n';
-  for (const auto& [key, pq] : entries_) {
-    out << seed_ << ' ' << key.first << ' ' << key.second << ' ' << pq.first << ' ' << pq.second
-        << '\n';
+  const std::string tmp_path = cache_path_ + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    for (const auto& line : foreign) out << line << '\n';
+    for (const auto& [key, pq] : entries_) {
+      out << seed_ << ' ' << key.first << ' ' << key.second << ' ' << pq.first << ' ' << pq.second
+          << '\n';
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return;  // keep the old cache intact; stay dirty for the next flush
+    }
+  }
+  if (std::rename(tmp_path.c_str(), cache_path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return;
   }
   dirty_ = false;
 }
@@ -68,27 +97,77 @@ RsaKeyPair KeyFactory::assemble(const Bignum& p_in, const Bignum& q_in) const {
   return {priv.public_key(), priv};
 }
 
+std::pair<Bignum, Bignum> KeyFactory::generate_pq(std::uint64_t seed, const std::string& label,
+                                                  std::size_t bits) {
+  Rng rng = Rng(seed).child("rsa-key").child(label).child(std::to_string(bits));
+  for (;;) {
+    Bignum p = Bignum::generate_prime(rng, bits / 2);
+    Bignum q = Bignum::generate_prime(rng, bits / 2);
+    if (p == q) continue;
+    if ((p - Bignum{1}).mod_u32(65537) == 0 || (q - Bignum{1}).mod_u32(65537) == 0) continue;
+    if ((p * q).bit_length() != bits) continue;
+    if (p < q) std::swap(p, q);  // cache rows store the normalized order
+    return {p, q};
+  }
+}
+
 RsaKeyPair KeyFactory::get(const std::string& label, std::size_t bits) {
   const auto key = std::make_pair(label, bits);
-  if (auto it = entries_.find(key); it != entries_.end()) {
-    ++cache_hits_;
-    return assemble(Bignum::from_hex(it->second.first), Bignum::from_hex(it->second.second));
-  }
-  Rng rng = Rng(seed_).child("rsa-key").child(label).child(std::to_string(bits));
-  const RsaKeyPair pair = [&] {
-    for (;;) {
-      Bignum p = Bignum::generate_prime(rng, bits / 2);
-      Bignum q = Bignum::generate_prime(rng, bits / 2);
-      if (p == q) continue;
-      if ((p - Bignum{1}).mod_u32(65537) == 0 || (q - Bignum{1}).mod_u32(65537) == 0) continue;
-      if ((p * q).bit_length() != bits) continue;
-      return assemble(p, q);
+  {
+    std::pair<std::string, std::string> pq_hex;
+    bool hit = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (auto it = entries_.find(key); it != entries_.end()) {
+        ++cache_hits_;
+        pq_hex = it->second;
+        hit = true;
+      }
     }
-  }();
-  entries_[key] = {pair.priv.p.to_hex(), pair.priv.q.to_hex()};
-  ++generated_;
-  dirty_ = true;
+    // Derive the CRT parts (modular inverses) outside the lock so
+    // concurrent post-prefetch hitters don't serialize on it.
+    if (hit) return assemble(Bignum::from_hex(pq_hex.first), Bignum::from_hex(pq_hex.second));
+  }
+  // Generate outside the lock — this is the expensive part, and the result
+  // is a pure function of (seed, label, bits), so a concurrent get() for
+  // the same key produces the identical entry.
+  const auto [p, q] = generate_pq(seed_, label, bits);
+  const RsaKeyPair pair = assemble(p, q);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.emplace(key, std::make_pair(p.to_hex(), q.to_hex())).second) {
+      ++generated_;
+      dirty_ = true;
+    }
+  }
   return pair;
+}
+
+void KeyFactory::prefetch(const std::vector<std::pair<std::string, std::size_t>>& wants,
+                          int threads) {
+  std::vector<std::pair<std::string, std::size_t>> missing;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::set<std::pair<std::string, std::size_t>> seen;
+    for (const auto& want : wants) {
+      if (entries_.contains(want)) continue;
+      if (seen.insert(want).second) missing.push_back(want);
+    }
+  }
+  if (missing.empty()) return;
+  const ThreadPool pool(threads);
+  std::vector<std::pair<std::string, std::string>> results(missing.size());
+  pool.parallel_for(missing.size(), [&](std::size_t i) {
+    const auto [p, q] = generate_pq(seed_, missing[i].first, missing[i].second);
+    results[i] = {p.to_hex(), q.to_hex()};
+  });
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    if (entries_.emplace(missing[i], std::move(results[i])).second) {
+      ++generated_;
+      dirty_ = true;
+    }
+  }
 }
 
 }  // namespace opcua_study

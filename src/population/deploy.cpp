@@ -69,7 +69,7 @@ std::vector<Cidr> Deployer::exclusion_list() const {
           parse_cidr("30.64.0.0/13"), parse_cidr("31.0.0.0/19")};
 }
 
-const RsaKeyPair& Deployer::keypair_for(const HostPlan& host, bool dual) {
+std::pair<std::string, std::size_t> Deployer::key_id_for(const HostPlan& host, bool dual) const {
   std::string label;
   std::size_t bits = dual ? 1024 : host.certificate.key_bits;
   if (!dual && host.certificate.reuse_group >= 0) {
@@ -80,9 +80,33 @@ const RsaKeyPair& Deployer::keypair_for(const HostPlan& host, bool dual) {
     label = "host-" + std::to_string(host.index) + (dual ? "-dual" : "");
   }
   if (config_.fast_keys) bits = 512;
+  return {label, bits};
+}
+
+const RsaKeyPair& Deployer::keypair_for(const HostPlan& host, bool dual) {
+  const auto [label, bits] = key_id_for(host, dual);
   const auto it = key_memo_.find(label);
   if (it != key_memo_.end()) return it->second;
   return key_memo_.emplace(label, keys_.get(label, bits)).first->second;
+}
+
+void Deployer::prefetch_keys(int week, const ShardSpec& shard) {
+  // RSA generation dominates deployment wall-clock; batch-generate this
+  // week's corpus in parallel, then let the serial host loop hit the
+  // KeyFactory cache. Per-label Rng streams make the keys — and therefore
+  // the deployed snapshot — identical for any key_threads value.
+  std::vector<std::pair<std::string, std::size_t>> wants;
+  bool needs_ca = false;
+  for (const auto& host : plan_.hosts) {
+    if (!host.present_in_week(week)) continue;
+    if (shard_of(host, shard.count) != shard.index) continue;
+    if (!host.certificate.present) continue;
+    wants.push_back(key_id_for(host, false));
+    if (host.certificate.dual_certificate) wants.push_back(key_id_for(host, true));
+    if (host.certificate.ca_signed) needs_ca = true;
+  }
+  if (needs_ca) wants.emplace_back("study-ca", config_.fast_keys ? 512 : 2048);
+  keys_.prefetch(wants, config_.key_threads);
 }
 
 Bytes Deployer::certificate_for(const HostPlan& host, int week, bool dual) {
@@ -280,7 +304,9 @@ void Deployer::deploy_week(Network& net, int week, const ShardSpec& shard) {
   }
   net.as_db().add(Cidr{kDummyBase, 8}, AsInfo{64998, "MiscHosting"});
 
-  // OPC UA hosts.
+  // OPC UA hosts: generate the week's key corpus in parallel first, then
+  // build servers serially against the warm cache.
+  prefetch_keys(week, shard);
   std::map<int, const HostPlan*> by_index;
   for (const auto& host : plan_.hosts) by_index[host.index] = &host;
 

@@ -29,6 +29,10 @@ struct DeployConfig {
   /// certificate *classification* then differs — only use in protocol
   /// tests, never in calibration benches).
   bool fast_keys = false;
+  /// Worker threads for the keygen prefetch pass of deploy_week() (0 =
+  /// hardware concurrency, 1 = serial). Every key label owns its own Rng
+  /// stream, so the deployed snapshot is field-identical for any value.
+  int key_threads = 0;
   std::string key_cache_path = KeyFactory::default_cache_path();
 };
 
@@ -61,6 +65,13 @@ class Deployer {
   std::size_t keys_generated() const { return keys_.generated(); }
 
  private:
+  /// The (KeyFactory label, key bits) a host's primary or dual certificate
+  /// uses — shared by the lazy keypair_for() path and the parallel
+  /// prefetch pass so the two can never drift apart.
+  std::pair<std::string, std::size_t> key_id_for(const HostPlan& host, bool dual) const;
+  /// Generate every RSA key `week`/`shard` will need on the worker pool
+  /// before the (serial) server-construction loop runs.
+  void prefetch_keys(int week, const ShardSpec& shard);
   Bytes certificate_for(const HostPlan& host, int week, bool dual);
   const RsaKeyPair& keypair_for(const HostPlan& host, bool dual);
   ServerConfig server_config(const HostPlan& host, int week);

@@ -17,8 +17,9 @@ ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
                                   ShardedRunStats* stats) {
   const int shards = std::max(1, config.shards);
 
-  // Deployment stays on this thread: the Deployer memoises keys and
-  // certificates across shards, and RSA generation is the expensive part.
+  // Shard deployment stays on this thread (the Deployer memoises keys and
+  // certificates across shards); the expensive part — RSA generation — is
+  // parallelized inside deploy_week() via the KeyFactory prefetch pass.
   std::vector<std::unique_ptr<Network>> networks;
   networks.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -82,6 +83,7 @@ ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int sh
   DeployConfig deploy_config;
   deploy_config.seed = config.seed;
   deploy_config.dummy_hosts = config.dummy_hosts;
+  deploy_config.key_threads = config.key_threads;
   deploy_config.key_cache_path = config.key_cache_path;
   Deployer deployer(plan, deploy_config);
 

@@ -27,6 +27,7 @@ ScanSnapshot run_measurement(const StudyConfig& config, int week) {
   DeployConfig deploy_config;
   deploy_config.seed = config.seed;
   deploy_config.dummy_hosts = config.dummy_hosts;
+  deploy_config.key_threads = config.key_threads;
   deploy_config.key_cache_path = config.key_cache_path;
   Deployer deployer(plan, deploy_config);
 

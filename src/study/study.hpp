@@ -12,6 +12,9 @@ struct StudyConfig {
   std::uint64_t seed = 20200209;
   int dummy_hosts = 20000;
   bool traverse_address_space = true;
+  /// Keygen workers for deployment (see DeployConfig::key_threads);
+  /// snapshots are field-identical for any value.
+  int key_threads = 0;
   std::string key_cache_path = KeyFactory::default_cache_path();
 };
 

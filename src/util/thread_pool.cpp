@@ -1,0 +1,50 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace opcua_study {
+
+ThreadPool::ThreadPool(int threads)
+    : size_(threads > 0 ? threads
+                        : std::max(1, static_cast<int>(std::thread::hardware_concurrency()))) {}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const int workers = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(size_), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Fork-join per call: the jobs routed here (RSA keygen, product-tree
+  // levels) cost milliseconds to seconds per index, so thread start-up is
+  // noise and a persistent worker set would only add lifecycle complexity.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::atomic<bool> error_claimed{false};
+  auto body = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error_claimed.exchange(true)) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 0; t < workers - 1; ++t) pool.emplace_back(body);
+  body();  // the caller is worker zero
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,39 @@
+// Fork-join data parallelism for the crypto fast path.
+//
+// Everything parallelized through this pool is *deterministic by
+// construction*: callers only hand it pure functions writing disjoint
+// output slots (per-label RSA key streams, product-tree nodes, remainder
+// -tree reductions), so results are independent of thread count and
+// scheduling. The pool itself therefore needs no ordering guarantees —
+// workers pull indices from an atomic counter.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace opcua_study {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency(); 1 runs
+  /// every parallel_for inline on the caller (no threads spawned at all).
+  explicit ThreadPool(int threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Run fn(i) for every i in [0, n); blocks until all iterations finish.
+  /// Iterations are claimed from an atomic counter, so big-integer work of
+  /// wildly different sizes (tree levels mix megabit roots with kilobit
+  /// leaves) load-balances without an explicit schedule. If any iteration
+  /// throws, the remaining ones are skipped and the first exception is
+  /// rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int size_;
+};
+
+}  // namespace opcua_study

@@ -67,6 +67,71 @@ TEST(Bignum, Shifts) {
   }
 }
 
+TEST(Bignum, ShiftAndTrimOnLimbBoundaries) {
+  // Shifts by exact limb multiples and limb-multiple±1 must round-trip,
+  // and values whose top limbs become zero must trim back to canonical
+  // form (equal limb counts) or comparisons silently break.
+  Rng rng(41);
+  for (const std::size_t bits : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 191u, 320u}) {
+    const Bignum a = Bignum::random_bits(rng, bits) + Bignum{1};
+    for (const std::size_t s : {63u, 64u, 65u, 128u, 256u}) {
+      EXPECT_EQ((a << s) >> s, a) << "bits=" << bits << " shift=" << s;
+    }
+  }
+  // 2^64 and 2^128: single set bit exactly on a limb boundary.
+  Bignum p64;
+  p64.set_bit(64);
+  EXPECT_EQ(p64.to_hex(), "10000000000000000");
+  EXPECT_EQ(p64.bit_length(), 65u);
+  EXPECT_EQ((p64 >> 64).low_u64(), 1u);
+  EXPECT_TRUE((p64 >> 65).is_zero());
+  EXPECT_EQ(p64 - Bignum{1}, Bignum::from_hex("ffffffffffffffff"));
+  // Subtraction that clears the top limb must compare equal to the small
+  // representation (trim correctness).
+  Bignum top = Bignum::from_hex("10000000000000000000000000000000f");
+  Bignum small = top - (Bignum{1} << 128);
+  EXPECT_EQ(small, Bignum{0xf});
+  EXPECT_EQ(small.limbs().size(), 1u);
+  // Shifting everything out yields canonical zero.
+  EXPECT_TRUE((Bignum::from_hex("ffffffffffffffffffffffffffffffff") >> 128).is_zero());
+}
+
+TEST(Bignum, KaratsubaMatchesSchoolbookAcrossThreshold) {
+  // Force products through both kernels around the crossover — operand
+  // sizes straddling the threshold, unbalanced shapes, and the sum-limbs
+  // carry case — and require bit-identical results.
+  const std::size_t saved = Bignum::karatsuba_threshold();
+  Rng rng(42);
+  for (const std::size_t a_limbs : {3u, 4u, 5u, 8u, 9u, 16u, 33u, 64u}) {
+    for (const std::size_t b_limbs : {1u, 3u, 4u, 7u, 16u, 31u, 64u, 130u}) {
+      Bignum a = Bignum::random_bits(rng, a_limbs * 64);
+      Bignum b = Bignum::random_bits(rng, b_limbs * 64);
+      a.set_bit(a_limbs * 64 - 1);  // full length, worst-case carries
+      b.set_bit(b_limbs * 64 - 1);
+      Bignum::set_karatsuba_threshold(4);  // smallest legal: deep recursion
+      const Bignum karatsuba = a * b;
+      const Bignum karatsuba_sqr = a.sqr();
+      Bignum::set_karatsuba_threshold(1u << 20);  // schoolbook only
+      EXPECT_EQ(karatsuba, a * b) << a_limbs << "x" << b_limbs;
+      EXPECT_EQ(karatsuba_sqr, a * a) << a_limbs;
+    }
+  }
+  Bignum::set_karatsuba_threshold(saved);
+}
+
+TEST(Bignum, SquaringMatchesMultiplication) {
+  Rng rng(43);
+  for (int i = 0; i < 60; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 1 + rng.below(4096));
+    EXPECT_EQ(a.sqr(), a * a);
+  }
+  EXPECT_TRUE(Bignum{}.sqr().is_zero());
+  EXPECT_EQ(Bignum{1}.sqr(), Bignum{1});
+  // All-ones operands maximize the doubling-pass carries.
+  const Bignum ones = Bignum::from_hex(std::string(96, 'f'));
+  EXPECT_EQ(ones.sqr(), ones * ones);
+}
+
 TEST(Bignum, DivModKnownAnswers) {
   auto [q, r] = Bignum::from_hex("deadbeefcafebabe").divmod(Bignum::from_hex("12345"));
   EXPECT_EQ(q * Bignum::from_hex("12345") + r, Bignum::from_hex("deadbeefcafebabe"));
@@ -103,6 +168,39 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(1024, 512), std::make_tuple(2048, 1024),
                       std::make_tuple(333, 65), std::make_tuple(96, 96)));
 
+// Above ~32 divisor limbs divmod() switches to Burnikel-Ziegler recursion;
+// cross-check it against the Knuth-D base case on shapes that exercise the
+// padded/odd-limb top-level, the blockwise loop, and the saturated-
+// quotient branch of the 3h/2h step.
+TEST(Bignum, BurnikelZieglerMatchesKnuth) {
+  Rng rng(44);
+  for (const auto& [a_bits, b_bits] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{8192, 4096},
+                                                        {16384, 2112},
+                                                        {12800, 6400},
+                                                        {9000, 4321},
+                                                        {5000, 4999},
+                                                        {20000, 2500}}) {
+    for (int i = 0; i < 3; ++i) {
+      Bignum a = Bignum::random_bits(rng, a_bits);
+      Bignum b = Bignum::random_bits(rng, b_bits);
+      b.set_bit(b_bits - 1);
+      const auto fast = a.divmod(b);
+      const auto ref = a.divmod_knuth(b);
+      EXPECT_EQ(fast.quotient, ref.quotient) << a_bits << "/" << b_bits;
+      EXPECT_EQ(fast.remainder, ref.remainder) << a_bits << "/" << b_bits;
+      EXPECT_EQ(fast.quotient * b + fast.remainder, a);
+      EXPECT_LT(fast.remainder, b);
+    }
+  }
+  // Dividend with long all-ones runs pushes the saturated-quotient branch.
+  Bignum a = Bignum::from_hex(std::string(1600, 'f'));
+  Bignum b = (Bignum{1} << 3200) - Bignum{1};
+  const auto fast = a.divmod(b);
+  EXPECT_EQ(fast.quotient, a.divmod_knuth(b).quotient);
+  EXPECT_EQ(fast.quotient * b + fast.remainder, a);
+}
+
 TEST(Bignum, DivisionAddBackStress) {
   // Operands with long runs of 0xff limbs push qhat estimation to its edge.
   Rng rng(99);
@@ -125,6 +223,17 @@ TEST(Bignum, ModU32) {
     const std::uint32_t d = static_cast<std::uint32_t>(rng.range(1, 1 << 30));
     EXPECT_EQ(a.mod_u32(d), (a % Bignum{d}).low_u64());
   }
+}
+
+TEST(Bignum, ModU64) {
+  Rng rng(51);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = Bignum::random_bits(rng, 300);
+    const std::uint64_t d = rng.next() | (std::uint64_t{1} << 63);  // full-width divisor
+    EXPECT_EQ(a.mod_u64(d), (a % Bignum{d}).low_u64());
+  }
+  EXPECT_EQ(Bignum{}.mod_u64(7), 0u);
+  EXPECT_THROW(Bignum{1}.mod_u64(0), std::domain_error);
 }
 
 TEST(Bignum, Gcd) {
@@ -170,6 +279,53 @@ TEST(Bignum, ModPowKnownAnswersAndFermat) {
 
 TEST(Bignum, ModPowEvenModulus) {
   EXPECT_EQ(Bignum::mod_pow(Bignum{3}, Bignum{5}, Bignum{100}).low_u64(), 43u);
+}
+
+TEST(Bignum, ModPowEvenModulusMatchesReference) {
+  // The even-modulus fallback (generic square-and-multiply with divmod)
+  // must agree with a naive reference on random inputs — it is the one
+  // mod_pow branch the Montgomery machinery never touches.
+  Rng rng(52);
+  for (int i = 0; i < 25; ++i) {
+    Bignum mod = Bignum::random_bits(rng, 100 + rng.below(200)) + Bignum{2};
+    if (mod.is_odd()) mod = mod + Bignum{1};  // force even
+    const Bignum base = Bignum::random_bits(rng, 256);
+    const Bignum exp = Bignum::random_bits(rng, 1 + rng.below(64));
+    Bignum expected{1};
+    expected = expected % mod;
+    const Bignum b = base % mod;
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      expected = (expected * expected) % mod;
+      if (exp.bit(bit)) expected = (expected * b) % mod;
+    }
+    EXPECT_EQ(Bignum::mod_pow(base, exp, mod), expected);
+  }
+  EXPECT_EQ(Bignum::mod_pow(Bignum{7}, Bignum{0}, Bignum{16}), Bignum{1});
+  EXPECT_TRUE(Bignum::mod_pow(Bignum{5}, Bignum{3}, Bignum{1}).is_zero());
+}
+
+TEST(Bignum, WindowedPowMatchesGenericAndBase2Path) {
+  // Odd moduli route through the fixed-window Montgomery path, with a
+  // dedicated shift-doubling branch for base 2 (the Miller-Rabin front
+  // test). Both must match plain square-and-multiply exactly.
+  Rng rng(53);
+  for (int i = 0; i < 20; ++i) {
+    Bignum mod = Bignum::random_bits(rng, 200 + rng.below(1200));
+    mod.set_bit(0);
+    if (mod <= Bignum{2}) mod = Bignum{5};
+    const Bignum exp = Bignum::random_bits(rng, 1 + rng.below(1200));
+    for (const Bignum& base :
+         {Bignum{2}, Bignum::random_bits(rng, 300), mod + Bignum{2}, Bignum{}}) {
+      Bignum expected{1};
+      expected = expected % mod;
+      const Bignum b = base % mod;
+      for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+        expected = (expected * expected) % mod;
+        if (exp.bit(bit)) expected = (expected * b) % mod;
+      }
+      EXPECT_EQ(Bignum::mod_pow(base, exp, mod), expected);
+    }
+  }
 }
 
 TEST(Montgomery, MatchesPlainModMul) {

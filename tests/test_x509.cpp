@@ -224,5 +224,43 @@ TEST(BatchGcd, TrivialSizes) {
   EXPECT_EQ(batch_gcd({Bignum{15}}).affected(), 0u);
 }
 
+TEST(BatchGcd, MatchesPairwiseOnLargerRandomizedCorpus) {
+  // A randomized ~90-modulus corpus drawn from a small prime pool, so
+  // sharing patterns are arbitrary (chains, stars, duplicates, isolated
+  // moduli) rather than hand-planted. The squares-tree batch sweep must
+  // agree with the O(n²) pairwise reference factor class by factor class,
+  // and it must be invariant under the worker-thread count.
+  Rng rng(3005);
+  std::vector<Bignum> pool;
+  for (int i = 0; i < 24; ++i) pool.push_back(Bignum::generate_prime(rng, 72, 6));
+  std::vector<Bignum> moduli;
+  for (int i = 0; i < 90; ++i) {
+    if (i % 11 == 0 && i > 0) {
+      moduli.push_back(moduli[rng.below(moduli.size())]);  // exact duplicate
+      continue;
+    }
+    const Bignum& p = pool[rng.below(pool.size())];
+    const Bignum& q = pool[rng.below(pool.size())];
+    moduli.push_back(p * q);
+  }
+  const auto fast = batch_gcd(moduli);
+  const auto parallel = batch_gcd(moduli, 3);
+  const auto ref = pairwise_gcd(moduli);
+  ASSERT_EQ(fast.shared_factor.size(), moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    EXPECT_EQ(fast.shared_factor[i].is_zero(), ref.shared_factor[i].is_zero()) << i;
+    if (!fast.shared_factor[i].is_zero()) {
+      // The batch factor must be a non-trivial divisor of its modulus
+      // (equal to it for exact duplicates).
+      EXPECT_TRUE((moduli[i] % fast.shared_factor[i]).is_zero()) << i;
+      EXPECT_GT(fast.shared_factor[i], Bignum{1});
+      EXPECT_LE(fast.shared_factor[i], moduli[i]);
+    }
+    EXPECT_EQ(fast.shared_factor[i], parallel.shared_factor[i]) << i;
+  }
+  EXPECT_EQ(fast.affected(), ref.affected());
+  EXPECT_GT(fast.affected(), 0u);
+}
+
 }  // namespace
 }  // namespace opcua_study
