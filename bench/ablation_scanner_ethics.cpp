@@ -25,15 +25,34 @@ struct TrafficStats {
   int hosts = 0;
 };
 
+void add_host(TrafficStats& stats, const HostScanRecord& host) {
+  ++stats.hosts;
+  stats.avg_duration += host.duration_seconds;
+  stats.max_duration = std::max(stats.max_duration, host.duration_seconds);
+  stats.min_duration = std::min(stats.min_duration, host.duration_seconds);
+  stats.avg_bytes += static_cast<double>(host.bytes_sent);
+  stats.max_bytes = std::max(stats.max_bytes, host.bytes_sent);
+}
+
 TrafficStats traffic_of(const ScanSnapshot& snapshot) {
   TrafficStats stats;
-  for (const auto& host : snapshot.hosts) {
-    ++stats.hosts;
-    stats.avg_duration += host.duration_seconds;
-    stats.max_duration = std::max(stats.max_duration, host.duration_seconds);
-    stats.min_duration = std::min(stats.min_duration, host.duration_seconds);
-    stats.avg_bytes += static_cast<double>(host.bytes_sent);
-    stats.max_bytes = std::max(stats.max_bytes, host.bytes_sent);
+  for (const auto& host : snapshot.hosts) add_host(stats, host);
+  if (stats.hosts > 0) {
+    stats.avg_duration /= stats.hosts;
+    stats.avg_bytes /= stats.hosts;
+  }
+  return stats;
+}
+
+/// Traffic profile of the recorded final measurement, streamed from the
+/// snapshot cache without materializing the dataset.
+TrafficStats recorded_final_traffic() {
+  const SnapshotReader reader(bench::ensure_snapshot_cache(), bench::kStudySeed);
+  TrafficStats stats;
+  const std::size_t final_week = reader.snapshots().size() - 1;
+  for (std::size_t c = 0; c < reader.chunks().size(); ++c) {
+    if (reader.chunks()[c].snapshot_ordinal != final_week) continue;
+    for (const auto& host : reader.read_chunk(c)) add_host(stats, host);
   }
   if (stats.hosts > 0) {
     stats.avg_duration /= stats.hosts;
@@ -45,7 +64,7 @@ TrafficStats traffic_of(const ScanSnapshot& snapshot) {
 }  // namespace
 
 int main() {
-  const TrafficStats polite = traffic_of(bench::final_snapshot());
+  const TrafficStats polite = recorded_final_traffic();
 
   StudyConfig config;
   config.seed = bench::kStudySeed;

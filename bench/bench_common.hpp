@@ -1,9 +1,19 @@
-// Shared campaign access for the bench binaries: run once, cache on disk.
+// Shared campaign access for the bench binaries: run once, cache on disk,
+// analyze as a stream.
+//
+// The figure/table benches no longer materialize the dataset: the first
+// binary to run records the eight-week campaign into a chunked v5
+// snapshot file (streaming one measurement at a time), and every bench
+// derives its numbers from one StudyAnalysis computed by the shared
+// src/analysis/ aggregator over that file — chunk by chunk, in bounded
+// memory, exactly like the paper's figures were cut from the released
+// dataset rather than from a live scan.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/analysis.hpp"
 #include "scanner/snapshot_io.hpp"
 #include "study/study.hpp"
 
@@ -16,31 +26,34 @@ inline std::string snapshot_cache_path() {
   return ".opcua_study_snapshots.bin";
 }
 
-/// All eight weekly measurements (cached after the first bench runs them).
-inline const std::vector<ScanSnapshot>& full_study() {
-  static const std::vector<ScanSnapshot> snapshots = [] {
-    const std::string path = snapshot_cache_path();
-    if (std::getenv("OPCUA_STUDY_FRESH") == nullptr) {
-      if (auto cached = load_snapshots(path, kStudySeed)) {
-        std::fprintf(stderr, "[bench] loaded %zu cached snapshots from %s\n", cached->size(),
-                     path.c_str());
-        return std::move(*cached);
-      }
+/// Ensures the recorded campaign exists on disk and returns its path.
+/// Accepts both the current chunked v5 cache and a pre-existing v4 one.
+inline std::string ensure_snapshot_cache() {
+  const std::string path = snapshot_cache_path();
+  if (std::getenv("OPCUA_STUDY_FRESH") == nullptr) {
+    try {
+      const SnapshotReader probe(path, kStudySeed);
+      std::fprintf(stderr, "[bench] using cached campaign %s (v%u, %zu measurements)\n",
+                   path.c_str(), probe.version(), probe.snapshots().size());
+      return path;
+    } catch (const SnapshotError& e) {
+      std::fprintf(stderr, "[bench] snapshot cache unusable (%s)\n", e.what());
     }
-    std::fprintf(stderr,
-                 "[bench] running the full eight-week campaign "
-                 "(first run generates ~900 RSA keys; subsequent runs hit the caches)...\n");
-    StudyConfig config;
-    config.seed = kStudySeed;
-    std::vector<ScanSnapshot> fresh = run_full_study(config);
-    save_snapshots(path, kStudySeed, fresh);
-    std::fprintf(stderr, "[bench] campaign cached to %s\n", path.c_str());
-    return fresh;
-  }();
-  return snapshots;
+  }
+  std::fprintf(stderr,
+               "[bench] running the full eight-week campaign "
+               "(first run generates ~900 RSA keys; subsequent runs hit the caches)...\n");
+  StudyConfig config;
+  config.seed = kStudySeed;
+  SnapshotWriter writer(path, kStudySeed);
+  run_full_study_streamed(config, writer);
+  std::fprintf(stderr, "[bench] campaign cached to %s\n", path.c_str());
+  return path;
 }
 
-/// The paper's headline measurement (2020-08-30).
-inline const ScanSnapshot& final_snapshot() { return full_study().back(); }
+/// One streaming pass over the recorded dataset -> every figure/table.
+inline StudyAnalysis run_analysis(AnalysisOptions options = {.threads = 0}) {
+  return analyze_file(ensure_snapshot_cache(), kStudySeed, options);
+}
 
 }  // namespace opcua_study::bench

@@ -3,7 +3,6 @@
 // clustering), with the follow-references / non-default-port additions.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 #include "util/date.hpp"
@@ -11,8 +10,8 @@
 using namespace opcua_study;
 
 int main() {
-  const auto& snapshots = bench::full_study();
-  const LongitudinalStats stats = assess_longitudinal(snapshots);
+  const StudyAnalysis analysis = bench::run_analysis();
+  const LongitudinalStats& stats = analysis.longitudinal;
 
   TextTable table;
   table.set_header({"measurement", "total", "discovery", "servers", "Bachmann", "Beckhoff",

@@ -2,14 +2,14 @@
 // most-secure host counts, measured over the wire on the final snapshot.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
 using namespace opcua_study;
 
 int main() {
-  ModePolicyStats stats = assess_modes_policies(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  ModePolicyStats stats = analysis.modes;
 
   std::puts("Figure 3 (left): security modes\n");
   TextTable modes;

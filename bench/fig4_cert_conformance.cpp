@@ -3,14 +3,14 @@
 // ↑ too strong) against the policy requirements.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
 using namespace opcua_study;
 
 int main() {
-  CertConformanceStats stats = assess_certificates(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  CertConformanceStats stats = analysis.certificates;
 
   std::puts("Figure 4: certificates implementing announced policies (reproduced)\n");
   TextTable table;

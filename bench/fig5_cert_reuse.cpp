@@ -2,14 +2,14 @@
 // certificate, and the autonomous systems those hosts sit in.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
 using namespace opcua_study;
 
 int main() {
-  ReuseStats stats = assess_reuse(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  const ReuseStats& stats = analysis.reuse;
 
   std::puts("Figure 5: certificates reused across hosts (reproduced)\n");
   TextTable table;

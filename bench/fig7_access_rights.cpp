@@ -2,14 +2,14 @@
 // executable functions across all publicly accessible hosts (1-CDF).
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
 using namespace opcua_study;
 
 int main() {
-  AccessRightsStats stats = assess_access_rights(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  const AccessRightsStats& stats = analysis.access_rights;
 
   std::puts("Figure 7: anonymous access rights on accessible hosts (reproduced)\n");
   std::puts("fraction of hosts (1-CDF) -> fraction of nodes accessible to them");

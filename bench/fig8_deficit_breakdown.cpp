@@ -2,7 +2,6 @@
 // autonomous system (8b), plus the paper's headline deficit roll-up.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
@@ -33,7 +32,8 @@ void print_breakdown(const char* title,
 }  // namespace
 
 int main() {
-  DeficitBreakdown stats = assess_deficits(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  const DeficitBreakdown& stats = analysis.deficits;
 
   std::puts("Figure 8: deficit classes (reproduced)\n");
   TextTable table;

@@ -13,11 +13,17 @@
 // record for record; the sharded one up to its documented (ip, port) host
 // ordering).
 //
-//   ./build/scan_engine_throughput [opcua_hosts] [dummy_hosts] [shards]
+// Results are emitted to BENCH_scan.json for the CI bench-regression guard.
+//
+//   ./build/scan_engine_throughput [opcua_hosts] [dummy_hosts] [shards] [--json PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <thread>
+
+#include "report/json.hpp"
 
 #include "population/deploy.hpp"
 #include "report/report.hpp"
@@ -134,10 +140,19 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int opcua_hosts = argc > 1 ? std::atoi(argv[1]) : 120;
-  const int dummy_hosts = argc > 2 ? std::atoi(argv[2]) : 600;
+  std::string json_path = "BENCH_scan.json";
+  std::vector<int> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(std::atoi(argv[i]));
+    }
+  }
+  const int opcua_hosts = positional.size() > 0 ? positional[0] : 120;
+  const int dummy_hosts = positional.size() > 1 ? positional[1] : 600;
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
-  const int shards = argc > 3 ? std::atoi(argv[3]) : std::max(4, static_cast<int>(hardware));
+  const int shards = positional.size() > 2 ? positional[2] : std::max(4, static_cast<int>(hardware));
 
   std::fprintf(stderr, "[bench] scan engine throughput: %d OPC UA hosts, %d dummies, %d shards, %u cores\n",
                opcua_hosts, dummy_hosts, shards, hardware);
@@ -236,5 +251,32 @@ int main(int argc, char** argv) {
                 hardware, hardware == 1 ? "" : "s");
   }
   std::fputs(render_comparison("Scan engine vs sequential baseline", rows).c_str(), stdout);
+
+  // ---- machine-readable trajectory --------------------------------------
+  {
+    const double window_compression =
+        lock_step.simulated_seconds / std::max(interleaved.simulated_seconds, 1e-9);
+    JsonWriter json;
+    json.begin_object()
+        .field("opcua_hosts", opcua_hosts)
+        .field("dummy_hosts", dummy_hosts)
+        .field("shards", shards)
+        .field("cores", static_cast<int>(hardware))
+        .key("hosts_per_sec")
+        .begin_object()
+        .field("lock_step", hosts_per_sec(lock_step))
+        .field("interleaved", hosts_per_sec(interleaved))
+        .field("sharded", hosts_per_sec(sharded))
+        .end_object()
+        .field("interleaved_speedup", interleaved_speedup)
+        .field("sharded_speedup", sharded_speedup)
+        .field("simulated_window_compression", window_compression)
+        .field("interleaved_equals_lock_step", interleaved_equal)
+        .field("sharded_equals_lock_step", sharded_equal)
+        .end_object();
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json.str();
+    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+  }
   return (interleaved_equal && sharded_equal) ? 0 : 1;
 }

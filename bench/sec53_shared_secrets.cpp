@@ -2,10 +2,8 @@
 // all collected RSA moduli (the paper found no weak-randomness evidence),
 // plus a positive control with injected shared primes to show the scanner
 // would have caught them.
-#include <chrono>
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "crypto/batch_gcd.hpp"
 #include "report/report.hpp"
@@ -13,10 +11,12 @@
 using namespace opcua_study;
 
 int main() {
-  const auto started = std::chrono::steady_clock::now();
-  SharedPrimeStats stats = assess_shared_primes(bench::final_snapshot());
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  AnalysisOptions options;
+  options.threads = 0;
+  options.shared_primes = true;
+  const StudyAnalysis analysis = bench::run_analysis(options);
+  const SharedPrimeStats& stats = analysis.shared_primes;
+  const double elapsed = analysis.shared_prime_seconds;
 
   std::puts("Section 5.3: shared-prime scan over the collected certificate corpus\n");
   std::printf("distinct RSA moduli checked : %zu\n", stats.distinct_moduli);

@@ -4,7 +4,6 @@
 // certificate fleet.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 #include "util/date.hpp"
@@ -12,7 +11,8 @@
 using namespace opcua_study;
 
 int main() {
-  const LongitudinalStats stats = assess_longitudinal(bench::full_study());
+  const StudyAnalysis analysis = bench::run_analysis();
+  const LongitudinalStats& stats = analysis.longitudinal;
 
   std::puts("Section 5.5: longitudinal analysis (reproduced)\n");
   TextTable table;

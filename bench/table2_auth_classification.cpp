@@ -2,14 +2,14 @@
 // production/test classification.
 #include <cstdio>
 
-#include "assess/assess.hpp"
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
 using namespace opcua_study;
 
 int main() {
-  AuthStats stats = assess_auth(bench::final_snapshot());
+  const StudyAnalysis analysis = bench::run_analysis();
+  const AuthStats& stats = analysis.auth;
 
   std::puts("Table 2: authentication types, accessibility and classification (reproduced)\n");
   TextTable table;

@@ -1,11 +1,13 @@
-// Longitudinal operator report over a recorded campaign dataset: loads the
-// snapshots cached by the bench suite and summarizes how (little) the
-// security posture changed — the paper's §5.5 told as a report.
+// Longitudinal operator report over a recorded campaign dataset: streams
+// the snapshots cached by the bench suite through the shared analysis
+// library and summarizes how (little) the security posture changed — the
+// paper's §5.5 told as a report. The dataset is never materialized in
+// RAM: the aggregator consumes it chunk by chunk.
 //
-//   ./build/examples/longitudinal_report [snapshot-file]
+//   ./build/longitudinal_report [snapshot-file]
 #include <cstdio>
 
-#include "assess/assess.hpp"
+#include "analysis/analysis.hpp"
 #include "report/report.hpp"
 #include "scanner/snapshot_io.hpp"
 #include "util/date.hpp"
@@ -14,15 +16,23 @@ using namespace opcua_study;
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : ".opcua_study_snapshots.bin";
-  const auto snapshots = load_snapshots(path, 20200209);
-  if (!snapshots || snapshots->empty()) {
-    std::printf("no recorded campaign at %s — run any bench binary first "
-                "(it records the dataset), e.g. ./build/bench/bench_fig3_modes_policies\n",
-                path.c_str());
+  StudyAnalysis analysis;
+  try {
+    AnalysisOptions options;
+    options.threads = 0;
+    analysis = analyze_file(path, 20200209, options);
+  } catch (const SnapshotError& e) {
+    std::printf("cannot analyze recorded campaign: %s\n"
+                "run any bench binary first (it records the dataset), e.g. "
+                "./build/fig3_modes_policies\n",
+                e.what());
     return 0;
   }
-
-  const LongitudinalStats stats = assess_longitudinal(*snapshots);
+  const LongitudinalStats& stats = analysis.longitudinal;
+  if (stats.weeks.empty()) {
+    std::printf("recorded campaign at %s holds no measurements\n", path.c_str());
+    return 0;
+  }
   std::printf("== longitudinal security report (%zu measurements) ==\n\n", stats.weeks.size());
 
   TextTable table;

@@ -1,0 +1,645 @@
+// Chunk-parallel implementation of the shared analysis library.
+//
+// Each worker aggregates whole chunks into a ChunkPartial; partials are
+// merged on the caller in chunk-index order, so every statistic —
+// including order-sensitive ones like the Fig. 7 fraction vectors and the
+// renewal-event list — is identical to a sequential pass over the same
+// records, and therefore identical to the assess/ reference functions
+// (the tests pin both equalities).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <tuple>
+
+#include "analysis/analysis.hpp"
+#include "crypto/batch_gcd.hpp"
+#include "util/date.hpp"
+#include "util/hex.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opcua_study {
+
+namespace {
+
+template <typename K>
+void merge_count_map(std::map<K, int>& into, const std::map<K, int>& from) {
+  for (const auto& [key, count] : from) into[key] += count;
+}
+
+// ------------------------------------------------- pass 1: cert census ----
+
+/// Certificate census of the final measurement: reuse clusters over the
+/// servers' distinct certificates (Fig. 5, Fig. 8 reuse sets, §5.5 fleet
+/// tracking) and optionally the deduplicated RSA modulus corpus (§5.3).
+struct CensusPartial {
+  struct Cluster {
+    int hosts = 0;
+    std::set<std::uint32_t> ases;
+    std::string org;
+  };
+  std::map<std::string, Cluster> clusters;
+  std::map<std::string, Bignum> moduli;  // hex(n) -> n, deduplicated
+
+  void absorb(const HostScanRecord& host, bool collect_moduli) {
+    if (collect_moduli) {
+      for (const auto& der : host.distinct_certificates()) {
+        try {
+          const Certificate cert = x509_parse(der);
+          moduli.try_emplace(cert.public_key.n.to_hex(), cert.public_key.n);
+        } catch (const DecodeError&) {
+        }
+      }
+    }
+    if (host.is_discovery_server()) return;
+    for (const auto& der : host.distinct_certificates()) {
+      const std::string fp = to_hex(x509_thumbprint(der));
+      Cluster& cluster = clusters[fp];
+      ++cluster.hosts;
+      cluster.ases.insert(host.asn);
+      if (cluster.org.empty()) {
+        try {
+          cluster.org = x509_parse(der).subject.organization;
+        } catch (const DecodeError&) {
+        }
+      }
+    }
+  }
+
+  void merge(CensusPartial&& other) {
+    for (auto& [fp, cluster] : other.clusters) {
+      Cluster& into = clusters[fp];
+      into.hosts += cluster.hosts;
+      into.ases.merge(cluster.ases);
+      if (into.org.empty()) into.org = std::move(cluster.org);
+    }
+    moduli.merge(other.moduli);
+  }
+};
+
+/// Fingerprint sets derived from the census before pass 2 runs.
+struct FinalWeekSets {
+  std::set<std::string> reused_fps;       // certificates on >= 3 hosts (Fig. 8)
+  std::set<std::string> big_cluster_fps;  // the distributor fleet (§5.5)
+};
+
+// ---------------------------------------------- pass 2: chunk partials ----
+
+/// Everything one chunk of records contributes. A chunk belongs to exactly
+/// one measurement; the final measurement's chunks additionally feed the
+/// figure statistics.
+struct ChunkPartial {
+  // Weekly tallies (Fig. 2 / §5.5), servers unless noted.
+  int servers = 0, discovery = 0, via_reference = 0, non_default_port = 0, deficient = 0;
+  int reuse_devices = 0;
+  std::map<std::string, int> by_manufacturer;
+
+  // Cross-week certificate corpus and per-host history (record order).
+  std::map<std::string, std::pair<HashAlgorithm, std::int64_t>> corpus;
+  struct HostObs {
+    Ipv4 ip = 0;
+    std::uint16_t port = 0;
+    std::set<std::string> fps;
+    std::map<std::string, HashAlgorithm> hashes;
+    std::string software;
+  };
+  std::vector<HostObs> history;
+
+  // Final-measurement figures.
+  ModePolicyStats modes;
+  CertConformanceStats certs;
+  std::map<std::tuple<bool, bool, bool, bool>, AuthRow> auth_rows;
+  AuthStats auth;  // scalar fields; rows assembled at finalize
+  AccessRightsStats access;
+  DeficitBreakdown deficits;
+
+  void absorb(const HostScanRecord& host, bool final_week, const FinalWeekSets& sets) {
+    // Fig. 7 is the one figure with no discovery-server filter (the
+    // reference assess_access_rights keys on session outcome alone).
+    if (final_week && host.session == SessionOutcome::accessible) {
+      int vars = 0, readable = 0, writable = 0, methods = 0, executable = 0;
+      for (const auto& node : host.nodes) {
+        if (node.node_class == NodeClass::Variable) {
+          ++vars;
+          readable += node.readable;
+          writable += node.writable;
+        } else if (node.node_class == NodeClass::Method) {
+          ++methods;
+          executable += node.executable;
+        }
+      }
+      if (vars > 0) {
+        access.read_fractions.push_back(static_cast<double>(readable) / vars);
+        access.write_fractions.push_back(static_cast<double>(writable) / vars);
+      }
+      if (methods > 0) {
+        access.exec_fractions.push_back(static_cast<double>(executable) / methods);
+      }
+    }
+
+    const std::string cluster = manufacturer_cluster(host.application_uri);
+    if (host.is_discovery_server()) {
+      ++discovery;
+      return;
+    }
+    ++servers;
+    by_manufacturer[cluster]++;
+    via_reference += host.found_via_reference;
+    non_default_port += host.port != kOpcUaDefaultPort;
+
+    const SecurityPolicy max = strongest_policy(host);
+    const auto cert = primary_certificate(host);
+    const bool cert_too_weak =
+        cert && max != SecurityPolicy::None &&
+        classify_certificate(max, cert->signature_hash, cert->key_bits()) ==
+            CertConformance::too_weak;
+    const bool host_deficient = max == SecurityPolicy::None || policy_info(max).deprecated ||
+                                cert_too_weak || host.anonymous_offered;
+    deficient += host_deficient;
+
+    // History / corpus / fleet membership (§5.5).
+    HostObs obs;
+    obs.ip = host.ip;
+    obs.port = host.port;
+    obs.software = host.software_version;
+    const std::vector<Bytes> ders = host.distinct_certificates();
+    std::vector<std::string> fps;  // one thumbprint per DER, computed once
+    fps.reserve(ders.size());
+    bool in_big_cluster = false;
+    for (const auto& der : ders) {
+      const std::string& fp = fps.emplace_back(to_hex(x509_thumbprint(der)));
+      obs.fps.insert(fp);
+      try {
+        const Certificate parsed = x509_parse(der);
+        obs.hashes[fp] = parsed.signature_hash;
+        corpus.try_emplace(fp, parsed.signature_hash, parsed.not_before_days);
+      } catch (const DecodeError&) {
+      }
+      if (sets.big_cluster_fps.contains(fp)) in_big_cluster = true;
+    }
+    reuse_devices += in_big_cluster;
+    history.push_back(std::move(obs));
+
+    if (!final_week) return;
+
+    // ----- Fig. 3: security modes and policies --------------------------
+    ++modes.servers;
+    const auto advertised_modes = host.advertised_modes();
+    MessageSecurityMode weakest_mode = MessageSecurityMode::Invalid;
+    MessageSecurityMode strongest_mode = MessageSecurityMode::Invalid;
+    for (const auto mode : advertised_modes) {
+      modes.mode_support[mode]++;
+      if (weakest_mode == MessageSecurityMode::Invalid ||
+          security_mode_rank(mode) < security_mode_rank(weakest_mode)) {
+        weakest_mode = mode;
+      }
+      if (security_mode_rank(mode) > security_mode_rank(strongest_mode)) strongest_mode = mode;
+    }
+    if (weakest_mode != MessageSecurityMode::Invalid) modes.mode_least[weakest_mode]++;
+    if (strongest_mode != MessageSecurityMode::Invalid) modes.mode_most[strongest_mode]++;
+    if (strongest_mode == MessageSecurityMode::None) ++modes.none_only;
+    if (security_mode_rank(strongest_mode) >= security_mode_rank(MessageSecurityMode::Sign)) {
+      ++modes.secure_mode_capable;
+    }
+
+    const auto policies = host.advertised_policies();
+    SecurityPolicy weakest = SecurityPolicy::None;
+    SecurityPolicy strongest = SecurityPolicy::None;
+    int weakest_rank = 1000, strongest_rank = -1;
+    bool any_deprecated = false;
+    for (const auto policy : policies) {
+      modes.policy_support[policy]++;
+      const auto& info = policy_info(policy);
+      any_deprecated |= info.deprecated;
+      if (info.rank < weakest_rank) {
+        weakest_rank = info.rank;
+        weakest = policy;
+      }
+      if (info.rank > strongest_rank) {
+        strongest_rank = info.rank;
+        strongest = policy;
+      }
+    }
+    if (!policies.empty()) {
+      modes.policy_least[weakest]++;
+      modes.policy_most[strongest]++;
+      if (policy_info(weakest).secure) ++modes.strong_enforcing;
+      if (policy_info(strongest).secure) ++modes.strong_capable;
+      if (policy_info(strongest).deprecated) ++modes.deprecated_max;
+    }
+    modes.deprecated_supported += any_deprecated;
+
+    // ----- Fig. 4: certificate conformance ------------------------------
+    if (cert) {
+      ++certs.hosts_with_cert;
+      if (!cert->self_signed()) ++certs.ca_signed;
+      const CertClassKey key{cert->signature_hash, cert->key_bits()};
+      for (const auto policy : policies) {
+        certs.class_counts[policy][key]++;
+        certs.announced_with_cert[policy]++;
+        switch (classify_certificate(policy, cert->signature_hash, cert->key_bits())) {
+          case CertConformance::too_weak: certs.too_weak[policy]++; break;
+          case CertConformance::too_strong: certs.too_strong[policy]++; break;
+          case CertConformance::conformant: break;
+        }
+      }
+      if (cert_too_weak) ++certs.weaker_than_max;
+    }
+
+    // ----- Fig. 6 / Table 2: authentication -----------------------------
+    ++auth.servers;
+    AuthRow probe;
+    for (const auto token : host.advertised_token_types()) {
+      switch (token) {
+        case UserTokenType::Anonymous: probe.anonymous = true; break;
+        case UserTokenType::UserName: probe.credentials = true; break;
+        case UserTokenType::Certificate: probe.certificate = true; break;
+        case UserTokenType::IssuedToken: probe.token = true; break;
+      }
+    }
+    AuthRow& row = auth_rows.try_emplace(probe.key(), probe).first->second;
+    const bool sc_rejected =
+        host.channel == ChannelOutcome::cert_rejected || host.channel == ChannelOutcome::failed;
+    if (sc_rejected) {
+      ++auth.channel_rejected;
+      ++row.channel_rejected;
+    } else {
+      ++auth.channel_capable;
+    }
+    if (probe.anonymous) {
+      ++auth.anonymous_offered;
+      if (!sc_rejected) ++auth.anonymous_channel_capable;
+      bool none_mode = false;
+      for (const auto mode : advertised_modes) none_mode |= mode == MessageSecurityMode::None;
+      if (!none_mode) ++auth.anonymous_secure_only;
+    }
+    if (host.session == SessionOutcome::accessible) {
+      ++auth.accessible;
+      switch (classify_namespaces(host.namespaces)) {
+        case SystemClass::production:
+          ++auth.production;
+          ++row.production;
+          break;
+        case SystemClass::test:
+          ++auth.test;
+          ++row.test;
+          break;
+        case SystemClass::unclassified:
+          ++auth.unclassified;
+          ++row.unclassified;
+          break;
+      }
+    } else if (!sc_rejected) {
+      ++auth.auth_rejected;
+      ++row.auth_rejected;
+    }
+
+    // ----- Fig. 8: deficit breakdown ------------------------------------
+    ++deficits.servers;
+    auto tally = [&](const char* deficit) {
+      deficits.by_manufacturer[deficit][cluster]++;
+      deficits.by_as[deficit][host.asn]++;
+    };
+    if (max == SecurityPolicy::None) {
+      ++deficits.none_only;
+      tally("None");
+    }
+    if (max != SecurityPolicy::None && policy_info(max).deprecated) {
+      ++deficits.deprecated_only;
+      tally("Deprecated Policies");
+    }
+    if (cert_too_weak) {
+      ++deficits.weak_certificate;
+      tally("Too Weak Certificate");
+    }
+    bool reused = false;
+    for (const auto& fp : fps) {
+      if (sets.reused_fps.contains(fp)) reused = true;
+    }
+    if (reused) {
+      ++deficits.cert_reuse;
+      tally("Certificate Reuse");
+    }
+    if (host.anonymous_offered) {
+      ++deficits.anonymous_access;
+      tally("Anonymous Access");
+    }
+    if (host_deficient) ++deficits.deficient_total;
+  }
+};
+
+void merge_figures(ChunkPartial& into, ChunkPartial&& from) {
+  // Fig. 3
+  into.modes.servers += from.modes.servers;
+  merge_count_map(into.modes.mode_support, from.modes.mode_support);
+  merge_count_map(into.modes.mode_least, from.modes.mode_least);
+  merge_count_map(into.modes.mode_most, from.modes.mode_most);
+  merge_count_map(into.modes.policy_support, from.modes.policy_support);
+  merge_count_map(into.modes.policy_least, from.modes.policy_least);
+  merge_count_map(into.modes.policy_most, from.modes.policy_most);
+  into.modes.none_only += from.modes.none_only;
+  into.modes.secure_mode_capable += from.modes.secure_mode_capable;
+  into.modes.deprecated_supported += from.modes.deprecated_supported;
+  into.modes.deprecated_max += from.modes.deprecated_max;
+  into.modes.strong_enforcing += from.modes.strong_enforcing;
+  into.modes.strong_capable += from.modes.strong_capable;
+  // Fig. 4
+  for (const auto& [policy, classes] : from.certs.class_counts) {
+    merge_count_map(into.certs.class_counts[policy], classes);
+  }
+  merge_count_map(into.certs.announced_with_cert, from.certs.announced_with_cert);
+  merge_count_map(into.certs.too_weak, from.certs.too_weak);
+  merge_count_map(into.certs.too_strong, from.certs.too_strong);
+  into.certs.weaker_than_max += from.certs.weaker_than_max;
+  into.certs.hosts_with_cert += from.certs.hosts_with_cert;
+  into.certs.ca_signed += from.certs.ca_signed;
+  // Fig. 6 / Table 2
+  for (auto& [key, row] : from.auth_rows) {
+    const auto [it, inserted] = into.auth_rows.try_emplace(key, row);
+    if (!inserted) {
+      it->second.production += row.production;
+      it->second.test += row.test;
+      it->second.unclassified += row.unclassified;
+      it->second.auth_rejected += row.auth_rejected;
+      it->second.channel_rejected += row.channel_rejected;
+    }
+  }
+  into.auth.servers += from.auth.servers;
+  into.auth.channel_capable += from.auth.channel_capable;
+  into.auth.channel_rejected += from.auth.channel_rejected;
+  into.auth.anonymous_offered += from.auth.anonymous_offered;
+  into.auth.anonymous_channel_capable += from.auth.anonymous_channel_capable;
+  into.auth.anonymous_secure_only += from.auth.anonymous_secure_only;
+  into.auth.accessible += from.auth.accessible;
+  into.auth.auth_rejected += from.auth.auth_rejected;
+  into.auth.production += from.auth.production;
+  into.auth.test += from.auth.test;
+  into.auth.unclassified += from.auth.unclassified;
+  // Fig. 7 (record order == chunk order)
+  auto append = [](std::vector<double>& into_vec, std::vector<double>& from_vec) {
+    into_vec.insert(into_vec.end(), from_vec.begin(), from_vec.end());
+  };
+  append(into.access.read_fractions, from.access.read_fractions);
+  append(into.access.write_fractions, from.access.write_fractions);
+  append(into.access.exec_fractions, from.access.exec_fractions);
+  // Fig. 8
+  for (const auto& [deficit, labels] : from.deficits.by_manufacturer) {
+    merge_count_map(into.deficits.by_manufacturer[deficit], labels);
+  }
+  for (const auto& [deficit, ases] : from.deficits.by_as) {
+    merge_count_map(into.deficits.by_as[deficit], ases);
+  }
+  into.deficits.none_only += from.deficits.none_only;
+  into.deficits.deprecated_only += from.deficits.deprecated_only;
+  into.deficits.weak_certificate += from.deficits.weak_certificate;
+  into.deficits.cert_reuse += from.deficits.cert_reuse;
+  into.deficits.anonymous_access += from.deficits.anonymous_access;
+  into.deficits.deficient_total += from.deficits.deficient_total;
+  into.deficits.servers += from.deficits.servers;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+void ReaderRecordSource::visit_chunk(std::size_t chunk,
+                                     const std::function<void(const HostScanRecord&)>& fn) const {
+  const std::vector<HostScanRecord> records = reader_.read_chunk(chunk);
+  for (const auto& record : records) fn(record);
+}
+
+SnapshotVectorSource::SnapshotVectorSource(const std::vector<ScanSnapshot>& snapshots,
+                                           std::uint32_t chunk_records)
+    : snapshots_(snapshots) {
+  const std::size_t stride = std::max<std::uint32_t>(1, chunk_records);
+  for (std::size_t week = 0; week < snapshots.size(); ++week) {
+    const std::size_t hosts = snapshots[week].hosts.size();
+    for (std::size_t first = 0; first < hosts; first += stride) {
+      chunks_.push_back({week, first, std::min(stride, hosts - first)});
+    }
+  }
+}
+
+SnapshotMeta SnapshotVectorSource::week_meta(std::size_t week) const {
+  const ScanSnapshot& snapshot = snapshots_[week];
+  SnapshotMeta meta;
+  meta.measurement_index = snapshot.measurement_index;
+  meta.date_days = snapshot.date_days;
+  meta.probes_sent = snapshot.probes_sent;
+  meta.tcp_open_count = snapshot.tcp_open_count;
+  meta.host_count = snapshot.hosts.size();
+  return meta;
+}
+
+void SnapshotVectorSource::visit_chunk(
+    std::size_t chunk, const std::function<void(const HostScanRecord&)>& fn) const {
+  const Span& span = chunks_[chunk];
+  const auto& hosts = snapshots_[span.week].hosts;
+  for (std::size_t i = 0; i < span.count; ++i) fn(hosts[span.first + i]);
+}
+
+bool StudyAnalysis::figures_equal(const StudyAnalysis& other) const {
+  return weeks == other.weeks && modes == other.modes && certificates == other.certificates &&
+         reuse == other.reuse && shared_primes == other.shared_primes && auth == other.auth &&
+         access_rights == other.access_rights && deficits == other.deficits &&
+         longitudinal == other.longitudinal;
+}
+
+StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& options) {
+  StudyAnalysis analysis;
+  const std::size_t weeks = source.week_count();
+  for (std::size_t w = 0; w < weeks; ++w) analysis.weeks.push_back(source.week_meta(w));
+  if (weeks == 0) return analysis;
+
+  const std::size_t final_week = weeks - 1;
+  const std::size_t chunk_count = source.chunk_count();
+  std::vector<std::size_t> final_chunks;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    if (source.chunk_week(c) == final_week) final_chunks.push_back(c);
+  }
+
+  ThreadPool pool(options.threads);
+
+  // ---- pass 1: certificate census of the final measurement --------------
+  std::vector<CensusPartial> census_partials(final_chunks.size());
+  pool.parallel_for(final_chunks.size(), [&](std::size_t i) {
+    source.visit_chunk(final_chunks[i], [&](const HostScanRecord& host) {
+      census_partials[i].absorb(host, options.shared_primes);
+    });
+  });
+  CensusPartial census;
+  for (auto& partial : census_partials) census.merge(std::move(partial));
+  census_partials.clear();
+
+  FinalWeekSets sets;
+  for (const auto& [fp, cluster] : census.clusters) {
+    if (cluster.hosts >= 3) {
+      sets.reused_fps.insert(fp);
+      if (cluster.org == "Bachmann electronic") sets.big_cluster_fps.insert(fp);
+    }
+  }
+
+  // ---- pass 2: figures + weekly tallies + host history ------------------
+  std::vector<ChunkPartial> partials(chunk_count);
+  pool.parallel_for(chunk_count, [&](std::size_t c) {
+    const bool is_final = source.chunk_week(c) == final_week;
+    source.visit_chunk(c, [&](const HostScanRecord& host) {
+      partials[c].absorb(host, is_final, sets);
+    });
+  });
+
+  // ---- ordered merge ----------------------------------------------------
+  ChunkPartial total;
+  std::vector<WeeklyObservation> week_obs(weeks);
+  struct HostHistory {
+    std::vector<int> weeks;
+    std::vector<std::set<std::string>> cert_sets;
+    std::vector<std::map<std::string, HashAlgorithm>> hashes;
+    std::vector<std::string> software;
+  };
+  std::map<std::pair<Ipv4, std::uint16_t>, HostHistory> history;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    ChunkPartial& partial = partials[c];
+    const std::size_t week = source.chunk_week(c);
+    WeeklyObservation& obs = week_obs[week];
+    obs.servers += partial.servers;
+    obs.discovery += partial.discovery;
+    obs.via_reference += partial.via_reference;
+    obs.non_default_port += partial.non_default_port;
+    obs.deficient += partial.deficient;
+    obs.reuse_devices += partial.reuse_devices;
+    merge_count_map(obs.by_manufacturer, partial.by_manufacturer);
+    for (auto& [fp, info] : partial.corpus) total.corpus.try_emplace(fp, info);
+    const int measurement_index = analysis.weeks[week].measurement_index;
+    for (auto& host_obs : partial.history) {
+      HostHistory& h = history[{host_obs.ip, host_obs.port}];
+      h.weeks.push_back(measurement_index);
+      h.cert_sets.push_back(std::move(host_obs.fps));
+      h.hashes.push_back(std::move(host_obs.hashes));
+      h.software.push_back(std::move(host_obs.software));
+    }
+    partial.history.clear();
+    partial.corpus.clear();
+    merge_figures(total, std::move(partial));
+  }
+  partials.clear();
+
+  // ---- finalize: Fig. 5 reuse clusters ----------------------------------
+  analysis.reuse.distinct_certificates = static_cast<int>(census.clusters.size());
+  for (auto& [fp, cluster] : census.clusters) {
+    if (cluster.hosts >= 3) {
+      ++analysis.reuse.clusters_ge3;
+      analysis.reuse.hosts_in_ge3 += cluster.hosts;
+    }
+    if (cluster.hosts >= 2) {
+      analysis.reuse.clusters.push_back(
+          {fp, cluster.hosts, std::move(cluster.ases), std::move(cluster.org)});
+    }
+  }
+  std::sort(analysis.reuse.clusters.begin(), analysis.reuse.clusters.end(),
+            [](const ReuseCluster& a, const ReuseCluster& b) { return a.host_count > b.host_count; });
+
+  // ---- finalize: §5.3 shared primes -------------------------------------
+  if (options.shared_primes) {
+    std::vector<Bignum> moduli;
+    moduli.reserve(census.moduli.size());
+    for (auto& [hex, n] : census.moduli) moduli.push_back(std::move(n));
+    analysis.shared_primes.distinct_moduli = moduli.size();
+    const auto started = std::chrono::steady_clock::now();
+    analysis.shared_primes.moduli_with_shared_prime =
+        batch_gcd(moduli, options.shared_prime_threads).affected();
+    analysis.shared_prime_seconds = seconds_since(started);
+  }
+
+  // ---- finalize: final-measurement figures ------------------------------
+  analysis.modes = std::move(total.modes);
+  analysis.certificates = std::move(total.certs);
+  analysis.auth = std::move(total.auth);
+  for (auto& [key, row] : total.auth_rows) analysis.auth.rows.push_back(row);
+  analysis.access_rights = std::move(total.access);
+  analysis.deficits = std::move(total.deficits);
+
+  // ---- finalize: Fig. 2 / §5.5 longitudinal -----------------------------
+  LongitudinalStats& lng = analysis.longitudinal;
+  double sum = 0, sum_sq = 0;
+  lng.deficiency_min = 100;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    WeeklyObservation& obs = week_obs[w];
+    obs.measurement_index = analysis.weeks[w].measurement_index;
+    obs.date_days = analysis.weeks[w].date_days;
+    obs.deficient_pct =
+        obs.servers == 0 ? 0 : 100.0 * obs.deficient / static_cast<double>(obs.servers);
+    sum += obs.deficient_pct;
+    sum_sq += obs.deficient_pct * obs.deficient_pct;
+    lng.deficiency_min = std::min(lng.deficiency_min, obs.deficient_pct);
+    lng.deficiency_max = std::max(lng.deficiency_max, obs.deficient_pct);
+    lng.weeks.push_back(std::move(obs));
+  }
+  {
+    const double n = static_cast<double>(weeks);
+    lng.deficiency_avg = sum / n;
+    lng.deficiency_std =
+        std::sqrt(std::max(0.0, sum_sq / n - lng.deficiency_avg * lng.deficiency_avg));
+  }
+  lng.total_distinct_certificates = total.corpus.size();
+  const std::int64_t y2017 = days_from_civil({2017, 1, 1});
+  const std::int64_t y2019 = days_from_civil({2019, 1, 1});
+  for (const auto& [fp, info] : total.corpus) {
+    if (info.first != HashAlgorithm::sha1) continue;
+    if (info.second >= y2017) ++lng.sha1_after_2017;
+    if (info.second >= y2019) ++lng.sha1_after_2019;
+  }
+  for (const auto& [endpoint, h] : history) {
+    for (std::size_t i = 1; i < h.weeks.size(); ++i) {
+      if (h.cert_sets[i] == h.cert_sets[i - 1] || h.cert_sets[i].empty() ||
+          h.cert_sets[i - 1].empty()) {
+        continue;
+      }
+      RenewalEvent event;
+      event.ip = endpoint.first;
+      event.week = h.weeks[i];
+      event.software_update = !h.software[i].empty() && !h.software[i - 1].empty() &&
+                              h.software[i] != h.software[i - 1];
+      bool removed_sha1 = false, added_sha1 = false, removed_sha256 = false, added_sha256 = false;
+      for (const auto& fp : h.cert_sets[i - 1]) {
+        if (h.cert_sets[i].contains(fp)) continue;
+        const auto it = h.hashes[i - 1].find(fp);
+        if (it == h.hashes[i - 1].end()) continue;
+        removed_sha1 |= it->second == HashAlgorithm::sha1;
+        removed_sha256 |= it->second == HashAlgorithm::sha256;
+      }
+      for (const auto& fp : h.cert_sets[i]) {
+        if (h.cert_sets[i - 1].contains(fp)) continue;
+        const auto it = h.hashes[i].find(fp);
+        if (it == h.hashes[i].end()) continue;
+        added_sha1 |= it->second == HashAlgorithm::sha1;
+        added_sha256 |= it->second == HashAlgorithm::sha256;
+      }
+      event.sha1_replaced = removed_sha1 && added_sha256 && !added_sha1;
+      event.downgraded_to_sha1 = removed_sha256 && added_sha1 && !added_sha256;
+      lng.renewals_with_software_update += event.software_update;
+      lng.sha1_upgrades += event.sha1_replaced;
+      lng.downgrades += event.downgraded_to_sha1;
+      lng.renewals.push_back(event);
+    }
+  }
+  return analysis;
+}
+
+StudyAnalysis analyze_reader(const SnapshotReader& reader, const AnalysisOptions& options) {
+  return analyze_source(ReaderRecordSource(reader), options);
+}
+
+StudyAnalysis analyze_file(const std::string& path, std::uint64_t seed,
+                           const AnalysisOptions& options) {
+  const SnapshotReader reader(path, seed);
+  return analyze_reader(reader, options);
+}
+
+StudyAnalysis analyze_snapshots(const std::vector<ScanSnapshot>& snapshots,
+                                const AnalysisOptions& options) {
+  return analyze_source(SnapshotVectorSource(snapshots, options.chunk_records), options);
+}
+
+}  // namespace opcua_study

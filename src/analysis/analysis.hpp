@@ -1,0 +1,124 @@
+// Shared analysis library — every figure/table of the paper computed in
+// one pass framework over a *stream* of host records.
+//
+// The assess/ layer holds the reference per-snapshot implementations (one
+// function per figure, whole snapshot in RAM). This library computes the
+// same statistics — bit-identical, the tests assert it — from a chunked
+// record stream in bounded memory: chunk partials are aggregated by
+// thread-pool workers and merged in chunk-index order, so the result is
+// independent of thread count and scheduling. That is what lets one
+// Aggregator serve the 1k-host paper reproduction and a million-host
+// follow-up campaign alike (cf. Dahlmanns et al., PAM 2022).
+//
+// Pass structure:
+//   pass 1  census of the final measurement's certificates (reuse
+//           clusters; optionally the RSA modulus corpus for §5.3)
+//   pass 2  everything else: per-week tallies, the final measurement's
+//           figure statistics (which need the pass-1 reuse sets), and the
+//           cross-week host history for renewal detection
+//   finalize  ordered merges -> StudyAnalysis
+#pragma once
+
+#include <cstdint>
+
+#include "assess/assess.hpp"
+#include "scanner/snapshot_io.hpp"
+
+namespace opcua_study {
+
+struct AnalysisOptions {
+  /// Worker threads for chunk aggregation; 0 = hardware concurrency,
+  /// 1 = inline on the caller. The result is identical for any value.
+  int threads = 1;
+  /// Run the §5.3 batch-GCD shared-prime sweep (expensive at scale).
+  bool shared_primes = false;
+  /// Worker threads for the batch-GCD product/remainder trees (0 =
+  /// hardware concurrency, matching the reference assess_shared_primes).
+  int shared_prime_threads = 0;
+  /// Chunk size used when aggregating in-memory snapshots (streams from
+  /// a SnapshotReader use the chunking recorded in the file).
+  std::uint32_t chunk_records = SnapshotWriter::kDefaultChunkRecords;
+};
+
+/// Every statistic the benches/examples render, computed together.
+/// Figure/table members cover the final measurement (the paper's headline
+/// 2020-08-30 snapshot); `longitudinal` covers all measurements.
+struct StudyAnalysis {
+  std::vector<SnapshotMeta> weeks;
+
+  ModePolicyStats modes;              // Fig. 3
+  CertConformanceStats certificates;  // Fig. 4
+  ReuseStats reuse;                   // Fig. 5
+  SharedPrimeStats shared_primes;     // §5.3 (only when options request it)
+  AuthStats auth;                     // Fig. 6 / Table 2
+  AccessRightsStats access_rights;    // Fig. 7
+  DeficitBreakdown deficits;          // Fig. 8
+  LongitudinalStats longitudinal;     // Fig. 2 / §5.5
+
+  double shared_prime_seconds = 0;  // batch-GCD wall time, 0 if skipped
+
+  /// Figure-output identity, ignoring the timing field — the invariant
+  /// the determinism tests and the pipeline bench assert.
+  bool figures_equal(const StudyAnalysis& other) const;
+};
+
+/// A source of record chunks the Aggregator can drain. Chunk index order
+/// defines the canonical record order (ascending week, then record order
+/// within the week); visit_chunk must be const-thread-safe.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual std::size_t week_count() const = 0;
+  virtual SnapshotMeta week_meta(std::size_t week) const = 0;
+  virtual std::size_t chunk_count() const = 0;
+  virtual std::size_t chunk_week(std::size_t chunk) const = 0;
+  virtual void visit_chunk(std::size_t chunk,
+                           const std::function<void(const HostScanRecord&)>& fn) const = 0;
+};
+
+/// Adapters.
+class ReaderRecordSource final : public RecordSource {
+ public:
+  explicit ReaderRecordSource(const SnapshotReader& reader) : reader_(reader) {}
+  std::size_t week_count() const override { return reader_.snapshots().size(); }
+  SnapshotMeta week_meta(std::size_t week) const override { return reader_.snapshots()[week]; }
+  std::size_t chunk_count() const override { return reader_.chunks().size(); }
+  std::size_t chunk_week(std::size_t chunk) const override {
+    return reader_.chunks()[chunk].snapshot_ordinal;
+  }
+  void visit_chunk(std::size_t chunk,
+                   const std::function<void(const HostScanRecord&)>& fn) const override;
+
+ private:
+  const SnapshotReader& reader_;
+};
+
+class SnapshotVectorSource final : public RecordSource {
+ public:
+  SnapshotVectorSource(const std::vector<ScanSnapshot>& snapshots, std::uint32_t chunk_records);
+  std::size_t week_count() const override { return snapshots_.size(); }
+  SnapshotMeta week_meta(std::size_t week) const override;
+  std::size_t chunk_count() const override { return chunks_.size(); }
+  std::size_t chunk_week(std::size_t chunk) const override { return chunks_[chunk].week; }
+  void visit_chunk(std::size_t chunk,
+                   const std::function<void(const HostScanRecord&)>& fn) const override;
+
+ private:
+  struct Span {
+    std::size_t week, first, count;
+  };
+  const std::vector<ScanSnapshot>& snapshots_;
+  std::vector<Span> chunks_;
+};
+
+/// Entry points. analyze_file/analyze_reader stream chunk-by-chunk and
+/// never materialize a full snapshot; analyze_snapshots serves callers
+/// that already hold the vector (and the equivalence tests).
+StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& options = {});
+StudyAnalysis analyze_reader(const SnapshotReader& reader, const AnalysisOptions& options = {});
+StudyAnalysis analyze_file(const std::string& path, std::uint64_t seed,
+                           const AnalysisOptions& options = {});
+StudyAnalysis analyze_snapshots(const std::vector<ScanSnapshot>& snapshots,
+                                const AnalysisOptions& options = {});
+
+}  // namespace opcua_study

@@ -3,6 +3,12 @@
 // Everything here consumes only HostScanRecord data measured over the
 // wire; the population plans are never consulted. Each struct mirrors one
 // table or figure of the paper.
+//
+// These are the *reference* implementations: one function per figure,
+// whole snapshot in RAM. Production consumers (benches, examples) go
+// through src/analysis/, which computes the same statistics from a
+// chunked record stream in bounded memory; test_snapshot_pipeline pins
+// the two paths bit-for-bit against each other.
 #pragma once
 
 #include <map>
@@ -31,6 +37,8 @@ struct ModePolicyStats {
   int deprecated_max = 0;        // strongest policy deprecated (280)
   int strong_enforcing = 0;      // weakest policy in {S1,S2,S3} (16)
   int strong_capable = 0;        // strongest policy in {S1,S2,S3} (564)
+
+  friend bool operator==(const ModePolicyStats&, const ModePolicyStats&) = default;
 };
 
 ModePolicyStats assess_modes_policies(const ScanSnapshot& snapshot);
@@ -53,6 +61,8 @@ struct CertConformanceStats {
   int weaker_than_max = 0;
   int hosts_with_cert = 0;
   int ca_signed = 0;  // paper: 99 % self-signed, 2 CA-signed
+
+  friend bool operator==(const CertConformanceStats&, const CertConformanceStats&) = default;
 };
 
 CertConformanceStats assess_certificates(const ScanSnapshot& snapshot);
@@ -64,6 +74,8 @@ struct ReuseCluster {
   int host_count = 0;
   std::set<std::uint32_t> ases;
   std::string subject_organization;
+
+  friend bool operator==(const ReuseCluster&, const ReuseCluster&) = default;
 };
 
 struct ReuseStats {
@@ -71,6 +83,8 @@ struct ReuseStats {
   int clusters_ge3 = 0;                // certificates on >= 3 hosts (9)
   int hosts_in_ge3 = 0;
   int distinct_certificates = 0;
+
+  friend bool operator==(const ReuseStats&, const ReuseStats&) = default;
 };
 
 ReuseStats assess_reuse(const ScanSnapshot& snapshot);
@@ -80,6 +94,8 @@ ReuseStats assess_reuse(const ScanSnapshot& snapshot);
 struct SharedPrimeStats {
   std::size_t distinct_moduli = 0;
   std::size_t moduli_with_shared_prime = 0;  // paper found none
+
+  friend bool operator==(const SharedPrimeStats&, const SharedPrimeStats&) = default;
 };
 
 SharedPrimeStats assess_shared_primes(const ScanSnapshot& snapshot);
@@ -99,6 +115,8 @@ struct AuthRow {
   int auth_rejected = 0, channel_rejected = 0;
   int total() const { return production + test + unclassified + auth_rejected + channel_rejected; }
   auto key() const { return std::tie(anonymous, credentials, certificate, token); }
+
+  friend bool operator==(const AuthRow&, const AuthRow&) = default;
 };
 
 struct AuthStats {
@@ -112,6 +130,8 @@ struct AuthStats {
   int accessible = 0;         // 493
   int auth_rejected = 0;      // 541
   int production = 0, test = 0, unclassified = 0;  // 295 / 42 / 156
+
+  friend bool operator==(const AuthStats&, const AuthStats&) = default;
 };
 
 AuthStats assess_auth(const ScanSnapshot& snapshot);
@@ -126,6 +146,8 @@ struct AccessRightsStats {
   static double hosts_above(const std::vector<double>& fractions, double threshold);
   /// 1-CDF sample points for rendering.
   static std::vector<std::pair<double, double>> survival_curve(std::vector<double> fractions);
+
+  friend bool operator==(const AccessRightsStats&, const AccessRightsStats&) = default;
 };
 
 AccessRightsStats assess_access_rights(const ScanSnapshot& snapshot);
@@ -143,6 +165,8 @@ struct DeficitBreakdown {
   int anonymous_access = 0; // anonymous offered (572)
   int deficient_total = 0;  // 1025 = 92.0 %
   int servers = 0;
+
+  friend bool operator==(const DeficitBreakdown&, const DeficitBreakdown&) = default;
 };
 
 DeficitBreakdown assess_deficits(const ScanSnapshot& snapshot);
@@ -160,6 +184,8 @@ struct WeeklyObservation {
   double deficient_pct = 0;
   std::map<std::string, int> by_manufacturer;
   int reuse_devices = 0;  // hosts sharing one of the big-cluster certs
+
+  friend bool operator==(const WeeklyObservation&, const WeeklyObservation&) = default;
 };
 
 struct RenewalEvent {
@@ -168,6 +194,8 @@ struct RenewalEvent {
   bool software_update = false;
   bool sha1_replaced = false;   // security increased (7 cases)
   bool downgraded_to_sha1 = false;  // 1 case
+
+  friend bool operator==(const RenewalEvent&, const RenewalEvent&) = default;
 };
 
 struct LongitudinalStats {
@@ -180,6 +208,8 @@ struct LongitudinalStats {
   int renewals_with_software_update = 0;        // 9
   int sha1_upgrades = 0;                        // 7
   int downgrades = 0;                           // 1
+
+  friend bool operator==(const LongitudinalStats&, const LongitudinalStats&) = default;
 };
 
 LongitudinalStats assess_longitudinal(const std::vector<ScanSnapshot>& snapshots);

@@ -1,0 +1,118 @@
+// Minimal ordered JSON emitter for the BENCH_*.json trend files.
+//
+// The bench binaries emit machine-readable results that CI diffs against
+// checked-in baselines (bench/baselines/ + bench/check_bench.py); this
+// writer keeps that output well-formed without hand-managed commas. It
+// covers exactly what the benches need — objects, arrays, scalars — and
+// nothing else.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace opcua_study {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.precision(12); }
+
+  JsonWriter& begin_object() {
+    open('{');
+    return *this;
+  }
+  JsonWriter& end_object() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    open('[');
+    return *this;
+  }
+  JsonWriter& end_array() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& key(const std::string& name) {
+    comma();
+    quote(name);
+    out_ << ": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return out_.str() + "\n"; }
+
+ private:
+  void open(char bracket) {
+    comma();
+    out_ << bracket;
+    stack_.push_back(bracket);
+    first_.push_back(true);
+  }
+  void close(char bracket) {
+    out_ << bracket;
+    stack_.pop_back();
+    first_.pop_back();
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ << ", ";
+      first_.back() = false;
+    }
+  }
+  void quote(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<char> stack_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace opcua_study

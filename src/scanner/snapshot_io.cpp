@@ -1,6 +1,7 @@
 #include "scanner/snapshot_io.hpp"
 
-#include <fstream>
+#include <algorithm>
+#include <limits>
 
 #include "opcua/encoding.hpp"
 
@@ -8,8 +9,19 @@ namespace opcua_study {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4f554153;  // "OUAS"
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kMagic = 0x4f554153;       // "OUAS"
+constexpr std::uint32_t kVersion = 5;
+constexpr std::uint32_t kLegacyVersion = 4;
+constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
+constexpr std::uint32_t kFooterMagic = 0x544f4f46; // "FOOT"
+constexpr std::uint32_t kEndMagic = 0x50414e53;    // "SNAP"
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kChunkHeaderBytes = 4 + 4 + 4 + 8;
+constexpr std::size_t kTrailerBytes = 8 + 4;
+// Sanity ceilings: a corrupt length field must fail fast, not drive a
+// multi-gigabyte reserve() or an hours-long decode loop.
+constexpr std::uint32_t kMaxSnapshots = 100000;
+constexpr std::uint64_t kMaxChunks = 1u << 26;
 
 void write_host(UaWriter& w, const HostScanRecord& host) {
   w.u32(host.ip);
@@ -57,6 +69,30 @@ void write_host(UaWriter& w, const HostScanRecord& host) {
   w.f64(host.duration_seconds);
 }
 
+// Enum fields come off disk as raw u32s; a flipped bit must surface as a
+// DecodeError, not as an out-of-range enum that downstream switch
+// statements silently misclassify.
+std::uint32_t checked_enum(UaReader& r, std::uint32_t max, const char* field) {
+  const std::uint32_t v = r.u32();
+  if (v > max) {
+    throw DecodeError(std::string("snapshot record: invalid ") + field + " value " +
+                      std::to_string(v));
+  }
+  return v;
+}
+
+NodeClass checked_node_class(UaReader& r) {
+  const std::uint32_t v = r.u32();
+  switch (v) {
+    case 0: return NodeClass::Unspecified;
+    case 1: return NodeClass::Object;
+    case 2: return NodeClass::Variable;
+    case 4: return NodeClass::Method;
+    default:
+      throw DecodeError("snapshot record: invalid node class value " + std::to_string(v));
+  }
+}
+
 HostScanRecord read_host(UaReader& r) {
   HostScanRecord host;
   host.ip = r.u32();
@@ -68,13 +104,13 @@ HostScanRecord read_host(UaReader& r) {
   host.application_uri = r.string();
   host.product_uri = r.string();
   host.application_name = r.string();
-  host.application_type = static_cast<ApplicationType>(r.u32());
+  host.application_type = static_cast<ApplicationType>(checked_enum(r, 3, "application type"));
   host.software_version = r.string();
   const std::uint32_t n_eps = r.u32();
   for (std::uint32_t i = 0; i < n_eps; ++i) {
     EndpointObservation ep;
     ep.url = r.string();
-    ep.mode = static_cast<MessageSecurityMode>(r.u32());
+    ep.mode = static_cast<MessageSecurityMode>(checked_enum(r, 3, "security mode"));
     ep.policy_uri = r.string();
     if (const auto policy = policy_from_uri(ep.policy_uri)) {
       ep.policy = *policy;
@@ -82,7 +118,8 @@ HostScanRecord read_host(UaReader& r) {
     }
     const std::uint32_t n_tokens = r.u32();
     for (std::uint32_t t = 0; t < n_tokens; ++t) {
-      ep.token_types.push_back(static_cast<UserTokenType>(r.u32()));
+      ep.token_types.push_back(
+          static_cast<UserTokenType>(checked_enum(r, 3, "user token type")));
     }
     ep.certificate_der = r.byte_string();
     host.endpoints.push_back(std::move(ep));
@@ -93,18 +130,18 @@ HostScanRecord read_host(UaReader& r) {
     const std::uint16_t port = r.u16();
     host.referenced_targets.emplace_back(ip, port);
   }
-  host.channel = static_cast<ChannelOutcome>(r.u32());
-  host.channel_policy = static_cast<SecurityPolicy>(r.u32());
-  host.channel_mode = static_cast<MessageSecurityMode>(r.u32());
+  host.channel = static_cast<ChannelOutcome>(checked_enum(r, 3, "channel outcome"));
+  host.channel_policy = static_cast<SecurityPolicy>(checked_enum(r, 5, "channel policy"));
+  host.channel_mode = static_cast<MessageSecurityMode>(checked_enum(r, 3, "channel mode"));
   host.server_signature_valid = r.boolean();
   host.anonymous_offered = r.boolean();
-  host.session = static_cast<SessionOutcome>(r.u32());
+  host.session = static_cast<SessionOutcome>(checked_enum(r, 3, "session outcome"));
   host.namespaces = r.string_array();
   const std::uint32_t n_nodes = r.u32();
   for (std::uint32_t i = 0; i < n_nodes; ++i) {
     NodeObservation node;
     node.browse_name = r.string();
-    node.node_class = static_cast<NodeClass>(r.u32());
+    node.node_class = checked_node_class(r);
     node.readable = r.boolean();
     node.writable = r.boolean();
     node.executable = r.boolean();
@@ -116,13 +153,377 @@ HostScanRecord read_host(UaReader& r) {
   return host;
 }
 
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot file not found: " + path);
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
 }  // namespace
+
+// ------------------------------------------------------------- writer ----
+
+SnapshotWriter::SnapshotWriter(const std::string& path, std::uint64_t seed,
+                               std::uint32_t chunk_records)
+    : path_(path), seed_(seed), chunk_records_(std::max<std::uint32_t>(1, chunk_records)) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) throw SnapshotError("cannot open snapshot file for writing: " + path);
+  UaWriter header;
+  header.u32(kMagic);
+  header.u32(kVersion);
+  header.u64(seed);
+  const Bytes& bytes = header.bytes();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  file_pos_ = bytes.size();
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  // No auto-seal: a writer destroyed without finish() — e.g. during stack
+  // unwinding after a failed campaign — must leave the file *unsealed*
+  // (no trailer), so readers reject the partial dataset instead of
+  // silently analyzing a truncated study.
+}
+
+void SnapshotWriter::begin_snapshot(int measurement_index, std::int64_t date_days) {
+  if (finished_) throw SnapshotError("snapshot writer already finished: " + path_);
+  if (in_snapshot_) throw SnapshotError("begin_snapshot while a snapshot is open: " + path_);
+  SnapshotMeta meta;
+  meta.measurement_index = measurement_index;
+  meta.date_days = date_days;
+  snapshots_.push_back(meta);
+  in_snapshot_ = true;
+}
+
+void SnapshotWriter::add_host(const HostScanRecord& host) {
+  if (!in_snapshot_) throw SnapshotError("add_host outside begin/end_snapshot: " + path_);
+  UaWriter w;
+  write_host(w, host);
+  const Bytes& encoded = w.bytes();
+  chunk_buf_.insert(chunk_buf_.end(), encoded.begin(), encoded.end());
+  ++buffered_records_;
+  ++snapshots_.back().host_count;
+  if (buffered_records_ >= chunk_records_) flush_chunk();
+}
+
+void SnapshotWriter::end_snapshot(std::uint64_t probes_sent, std::uint64_t tcp_open_count) {
+  if (!in_snapshot_) throw SnapshotError("end_snapshot without begin_snapshot: " + path_);
+  snapshots_.back().probes_sent = probes_sent;
+  snapshots_.back().tcp_open_count = tcp_open_count;
+  flush_chunk();  // chunks never straddle measurements
+  in_snapshot_ = false;
+}
+
+void SnapshotWriter::add_snapshot(const ScanSnapshot& snapshot) {
+  begin_snapshot(snapshot.measurement_index, snapshot.date_days);
+  for (const auto& host : snapshot.hosts) add_host(host);
+  end_snapshot(snapshot.probes_sent, snapshot.tcp_open_count);
+}
+
+void SnapshotWriter::flush_chunk() {
+  if (buffered_records_ == 0) return;
+  SnapshotChunkInfo info;
+  info.snapshot_ordinal = static_cast<std::uint32_t>(snapshots_.size() - 1);
+  info.record_count = buffered_records_;
+  info.file_offset = file_pos_;
+  info.payload_bytes = chunk_buf_.size();
+
+  UaWriter header;
+  header.u32(kChunkMagic);
+  header.u32(info.snapshot_ordinal);
+  header.u32(info.record_count);
+  header.u64(info.payload_bytes);
+  const Bytes& hb = header.bytes();
+  out_.write(reinterpret_cast<const char*>(hb.data()), static_cast<std::streamsize>(hb.size()));
+  out_.write(reinterpret_cast<const char*>(chunk_buf_.data()),
+             static_cast<std::streamsize>(chunk_buf_.size()));
+  file_pos_ += hb.size() + chunk_buf_.size();
+  chunks_.push_back(info);
+  chunk_buf_.clear();
+  buffered_records_ = 0;
+}
+
+void SnapshotWriter::finish() {
+  if (finished_) return;
+  if (in_snapshot_) throw SnapshotError("finish with an open snapshot: " + path_);
+  const std::uint64_t footer_offset = file_pos_;
+  UaWriter w;
+  w.u32(kFooterMagic);
+  w.u32(static_cast<std::uint32_t>(snapshots_.size()));
+  for (const auto& meta : snapshots_) {
+    w.i32(meta.measurement_index);
+    w.i64(meta.date_days);
+    w.u64(meta.probes_sent);
+    w.u64(meta.tcp_open_count);
+    w.u64(meta.host_count);
+  }
+  w.u32(static_cast<std::uint32_t>(chunks_.size()));
+  for (const auto& chunk : chunks_) {
+    w.u32(chunk.snapshot_ordinal);
+    w.u32(chunk.record_count);
+    w.u64(chunk.file_offset);
+    w.u64(chunk.payload_bytes);
+  }
+  w.u64(footer_offset);
+  w.u32(kEndMagic);
+  const Bytes& bytes = w.bytes();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  out_.close();
+  if (!out_) throw SnapshotError("write failure while sealing snapshot file: " + path_);
+  finished_ = true;
+}
+
+// ------------------------------------------------------------- reader ----
+
+SnapshotReader::SnapshotReader(const std::string& path, std::uint64_t seed) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot file not found: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < kHeaderBytes) {
+    throw SnapshotError("snapshot file truncated: " + path + " holds only " +
+                        std::to_string(file_size) + " bytes");
+  }
+  Bytes header(kHeaderBytes);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(header.data()), static_cast<std::streamsize>(header.size()));
+  UaReader hr(header);
+  if (hr.u32() != kMagic) throw SnapshotError("not a snapshot file (bad magic): " + path);
+  version_ = hr.u32();
+  if (version_ != kVersion && version_ != kLegacyVersion) {
+    throw SnapshotError("unsupported snapshot version " + std::to_string(version_) + ": " + path);
+  }
+  const std::uint64_t file_seed = hr.u64();
+  if (file_seed != seed) {
+    throw SnapshotError("snapshot seed mismatch (file " + std::to_string(file_seed) +
+                        ", expected " + std::to_string(seed) + "): " + path);
+  }
+
+  if (version_ == kLegacyVersion) {
+    // v4: monolithic stream — decode once to synthesize the chunk index.
+    // Legacy files are the small pre-chunking caches, so keeping the raw
+    // bytes resident is acceptable; v5 readers never do this.
+    v4_data_ = read_file(path);
+    try {
+      UaReader r(v4_data_);
+      r.u32();  // magic
+      r.u32();  // version
+      r.u64();  // seed
+      const std::uint32_t count = r.u32();
+      if (count > kMaxSnapshots) {
+        throw DecodeError("implausible snapshot count " + std::to_string(count));
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        SnapshotMeta meta;
+        meta.measurement_index = r.i32();
+        meta.date_days = r.i64();
+        meta.probes_sent = r.u64();
+        meta.tcp_open_count = r.u64();
+        const std::uint32_t n_hosts = r.u32();
+        meta.host_count = n_hosts;
+        std::uint32_t remaining_hosts = n_hosts;
+        while (remaining_hosts > 0) {
+          SnapshotChunkInfo chunk;
+          chunk.snapshot_ordinal = i;
+          chunk.record_count =
+              std::min<std::uint32_t>(remaining_hosts, SnapshotWriter::kDefaultChunkRecords);
+          chunk.file_offset = r.base().position();
+          for (std::uint32_t h = 0; h < chunk.record_count; ++h) read_host(r);
+          chunk.payload_bytes = r.base().position() - chunk.file_offset;
+          chunks_.push_back(chunk);
+          remaining_hosts -= chunk.record_count;
+        }
+        snapshots_.push_back(meta);
+      }
+      if (!r.done()) {
+        throw DecodeError(std::to_string(r.remaining()) + " trailing bytes after last snapshot");
+      }
+    } catch (const DecodeError& e) {
+      throw SnapshotError("corrupt v4 snapshot file " + path + ": " + e.what());
+    }
+    return;
+  }
+
+  // v5: trailer -> footer -> validated chunk index.
+  if (file_size < kHeaderBytes + kTrailerBytes) {
+    throw SnapshotError("snapshot file truncated before trailer: " + path);
+  }
+  Bytes trailer(kTrailerBytes);
+  in.seekg(static_cast<std::streamoff>(file_size - kTrailerBytes));
+  in.read(reinterpret_cast<char*>(trailer.data()), static_cast<std::streamsize>(trailer.size()));
+  UaReader tr(trailer);
+  const std::uint64_t footer_offset = tr.u64();
+  if (tr.u32() != kEndMagic) {
+    throw SnapshotError("snapshot file truncated or unsealed (missing end marker): " + path);
+  }
+  if (footer_offset < kHeaderBytes || footer_offset > file_size - kTrailerBytes) {
+    throw SnapshotError("snapshot footer offset out of range: " + path);
+  }
+  Bytes footer(static_cast<std::size_t>(file_size - kTrailerBytes - footer_offset));
+  in.seekg(static_cast<std::streamoff>(footer_offset));
+  in.read(reinterpret_cast<char*>(footer.data()), static_cast<std::streamsize>(footer.size()));
+  if (!in) throw SnapshotError("read failure in snapshot footer: " + path);
+  try {
+    UaReader r(footer);
+    if (r.u32() != kFooterMagic) throw DecodeError("bad footer magic");
+    const std::uint32_t snapshot_count = r.u32();
+    if (snapshot_count > kMaxSnapshots) {
+      throw DecodeError("implausible snapshot count " + std::to_string(snapshot_count));
+    }
+    snapshots_.reserve(snapshot_count);
+    for (std::uint32_t i = 0; i < snapshot_count; ++i) {
+      SnapshotMeta meta;
+      meta.measurement_index = r.i32();
+      meta.date_days = r.i64();
+      meta.probes_sent = r.u64();
+      meta.tcp_open_count = r.u64();
+      meta.host_count = r.u64();
+      snapshots_.push_back(meta);
+    }
+    const std::uint32_t chunk_count = r.u32();
+    if (chunk_count > kMaxChunks) {
+      throw DecodeError("implausible chunk count " + std::to_string(chunk_count));
+    }
+    chunks_.reserve(chunk_count);
+    std::vector<std::uint64_t> records_seen(snapshot_count, 0);
+    std::uint64_t min_offset = kHeaderBytes;
+    for (std::uint32_t i = 0; i < chunk_count; ++i) {
+      SnapshotChunkInfo chunk;
+      chunk.snapshot_ordinal = r.u32();
+      chunk.record_count = r.u32();
+      chunk.file_offset = r.u64();
+      chunk.payload_bytes = r.u64();
+      if (chunk.snapshot_ordinal >= snapshot_count) {
+        throw DecodeError("chunk " + std::to_string(i) + " references snapshot " +
+                          std::to_string(chunk.snapshot_ordinal) + " of " +
+                          std::to_string(snapshot_count));
+      }
+      if (chunk.record_count == 0) throw DecodeError("chunk " + std::to_string(i) + " is empty");
+      // Chunks are written back to back in index order; each must lie
+      // fully inside the data region [header, footer).
+      if (chunk.file_offset < min_offset ||
+          chunk.payload_bytes > footer_offset - kChunkHeaderBytes ||
+          chunk.file_offset + kChunkHeaderBytes + chunk.payload_bytes > footer_offset) {
+        throw DecodeError("chunk " + std::to_string(i) + " extent out of range");
+      }
+      min_offset = chunk.file_offset + kChunkHeaderBytes + chunk.payload_bytes;
+      records_seen[chunk.snapshot_ordinal] += chunk.record_count;
+      if (!chunks_.empty() && chunk.snapshot_ordinal < chunks_.back().snapshot_ordinal) {
+        throw DecodeError("chunk index not ordered by snapshot");
+      }
+      chunks_.push_back(chunk);
+    }
+    if (!r.done()) throw DecodeError("trailing bytes in footer");
+    for (std::uint32_t i = 0; i < snapshot_count; ++i) {
+      if (records_seen[i] != snapshots_[i].host_count) {
+        throw DecodeError("snapshot " + std::to_string(i) + " indexes " +
+                          std::to_string(records_seen[i]) + " records but declares " +
+                          std::to_string(snapshots_[i].host_count));
+      }
+    }
+  } catch (const DecodeError& e) {
+    throw SnapshotError("corrupt snapshot footer in " + path + ": " + e.what());
+  }
+}
+
+std::uint64_t SnapshotReader::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& meta : snapshots_) total += meta.host_count;
+  return total;
+}
+
+std::vector<HostScanRecord> SnapshotReader::read_chunk(std::size_t chunk_index) const {
+  if (chunk_index >= chunks_.size()) {
+    throw SnapshotError("chunk index " + std::to_string(chunk_index) + " out of range in " +
+                        path_);
+  }
+  const SnapshotChunkInfo& info = chunks_[chunk_index];
+  std::vector<HostScanRecord> records;
+  records.reserve(info.record_count);
+  try {
+    if (version_ == kLegacyVersion) {
+      UaReader r(std::span<const std::uint8_t>(v4_data_.data() + info.file_offset,
+                                               info.payload_bytes));
+      for (std::uint32_t i = 0; i < info.record_count; ++i) records.push_back(read_host(r));
+      return records;
+    }
+    // Each call opens its own stream so thread-pool workers can decode
+    // disjoint chunks concurrently without sharing a file cursor.
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw SnapshotError("snapshot file vanished: " + path_);
+    in.seekg(static_cast<std::streamoff>(info.file_offset));
+    Bytes data(kChunkHeaderBytes + info.payload_bytes);
+    in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(data.size()));
+    if (!in) throw SnapshotError("read failure in chunk of " + path_);
+    UaReader r(data);
+    if (r.u32() != kChunkMagic || r.u32() != info.snapshot_ordinal ||
+        r.u32() != info.record_count || r.u64() != info.payload_bytes) {
+      throw DecodeError("chunk header disagrees with footer index");
+    }
+    for (std::uint32_t i = 0; i < info.record_count; ++i) records.push_back(read_host(r));
+    if (!r.done()) throw DecodeError("chunk payload longer than its records");
+  } catch (const DecodeError& e) {
+    throw SnapshotError("corrupt chunk " + std::to_string(chunk_index) + " in " + path_ + ": " +
+                        e.what());
+  }
+  return records;
+}
+
+void SnapshotReader::for_each_host(
+    const std::function<void(std::size_t, const HostScanRecord&)>& fn) const {
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const std::vector<HostScanRecord> records = read_chunk(c);
+    for (const auto& record : records) fn(chunks_[c].snapshot_ordinal, record);
+  }
+}
+
+std::vector<ScanSnapshot> SnapshotReader::load_all() const {
+  std::vector<ScanSnapshot> out;
+  out.reserve(snapshots_.size());
+  for (const auto& meta : snapshots_) {
+    ScanSnapshot snapshot;
+    snapshot.measurement_index = meta.measurement_index;
+    snapshot.date_days = meta.date_days;
+    snapshot.probes_sent = meta.probes_sent;
+    snapshot.tcp_open_count = meta.tcp_open_count;
+    snapshot.hosts.reserve(meta.host_count);
+    out.push_back(std::move(snapshot));
+  }
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    std::vector<HostScanRecord> records = read_chunk(c);
+    auto& hosts = out[chunks_[c].snapshot_ordinal].hosts;
+    for (auto& record : records) hosts.push_back(std::move(record));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- functions ----
 
 void save_snapshots(const std::string& path, std::uint64_t seed,
                     const std::vector<ScanSnapshot>& snapshots) {
+  SnapshotWriter writer(path, seed);
+  for (const auto& snapshot : snapshots) writer.add_snapshot(snapshot);
+  writer.finish();
+}
+
+std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
+                                                        std::uint64_t seed,
+                                                        std::string* error) {
+  try {
+    SnapshotReader reader(path, seed);
+    return reader.load_all();
+  } catch (const SnapshotError& e) {
+    if (error) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+void save_snapshots_v4(const std::string& path, std::uint64_t seed,
+                       const std::vector<ScanSnapshot>& snapshots) {
   UaWriter w;
   w.u32(kMagic);
-  w.u32(kVersion);
+  w.u32(kLegacyVersion);
   w.u64(seed);
   w.u32(static_cast<std::uint32_t>(snapshots.size()));
   for (const auto& snapshot : snapshots) {
@@ -136,34 +537,6 @@ void save_snapshots(const std::string& path, std::uint64_t seed,
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   const Bytes& data = w.bytes();
   out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
-}
-
-std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
-                                                        std::uint64_t seed) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  try {
-    UaReader r(data);
-    if (r.u32() != kMagic || r.u32() != kVersion || r.u64() != seed) return std::nullopt;
-    const std::uint32_t count = r.u32();
-    std::vector<ScanSnapshot> snapshots;
-    snapshots.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      ScanSnapshot snapshot;
-      snapshot.measurement_index = r.i32();
-      snapshot.date_days = r.i64();
-      snapshot.probes_sent = r.u64();
-      snapshot.tcp_open_count = r.u64();
-      const std::uint32_t n_hosts = r.u32();
-      for (std::uint32_t h = 0; h < n_hosts; ++h) snapshot.hosts.push_back(read_host(r));
-      snapshots.push_back(std::move(snapshot));
-    }
-    if (!r.done()) return std::nullopt;
-    return snapshots;
-  } catch (const DecodeError&) {
-    return std::nullopt;
-  }
 }
 
 }  // namespace opcua_study

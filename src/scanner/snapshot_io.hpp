@@ -4,9 +4,35 @@
 // the first binary runs the scans and caches them, the rest load from disk
 // (exactly like the paper's analyses ran on the recorded dataset rather
 // than re-scanning per figure).
+//
+// Format v5 is *chunked*: host records are written in fixed-size record
+// groups, and a footer indexes every chunk (snapshot ordinal, record
+// count, byte offset, payload size). A SnapshotWriter therefore appends
+// records as a campaign produces them — one chunk of buffering, never the
+// whole measurement — and a SnapshotReader either streams records
+// chunk-by-chunk in bounded memory or hands whole chunks to thread-pool
+// workers for parallel aggregation (src/analysis/). Monolithic v4 files
+// still load; the reader synthesizes a chunk index for them.
+//
+// File layout (all integers little-endian, records in the v4 encoding):
+//
+//   u32 magic 'OUAS'   u32 version=5   u64 seed
+//   chunk*:  u32 'CHNK'  u32 snapshot_ordinal  u32 record_count
+//            u64 payload_bytes  payload
+//   footer:  u32 'FOOT'  u32 snapshot_count
+//            snapshot*: i32 measurement_index  i64 date_days
+//                       u64 probes_sent  u64 tcp_open_count  u64 host_count
+//            u32 chunk_count
+//            chunk*: u32 snapshot_ordinal  u32 record_count
+//                    u64 file_offset  u64 payload_bytes
+//   trailer: u64 footer_offset  u32 'SNAP'
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,12 +40,128 @@
 
 namespace opcua_study {
 
+/// Thrown on any structural problem with a snapshot file: bad magic,
+/// truncation, out-of-range enum values, inconsistent chunk index. The
+/// message names what was wrong and where, so a corrupt multi-gigabyte
+/// dataset fails loudly instead of yielding garbage records.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-measurement metadata, available without decoding any host record.
+struct SnapshotMeta {
+  int measurement_index = 0;
+  std::int64_t date_days = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t tcp_open_count = 0;
+  std::uint64_t host_count = 0;
+
+  friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
+};
+
+/// One indexed record group. Chunks are stored (and indexed) in write
+/// order: ascending snapshot ordinal, then record order within the week.
+struct SnapshotChunkInfo {
+  std::uint32_t snapshot_ordinal = 0;
+  std::uint32_t record_count = 0;
+  std::uint64_t file_offset = 0;   // of the chunk header
+  std::uint64_t payload_bytes = 0;
+
+  friend bool operator==(const SnapshotChunkInfo&, const SnapshotChunkInfo&) = default;
+};
+
+/// Streaming v5 writer: open, then per measurement begin_snapshot() /
+/// add_host()* / end_snapshot(); finish() seals the file with the footer.
+/// A writer destroyed without finish() leaves the file unsealed, and
+/// readers reject it — a half-written campaign never masquerades as a
+/// complete dataset. Buffers at most one chunk of records.
+class SnapshotWriter {
+ public:
+  static constexpr std::uint32_t kDefaultChunkRecords = 4096;
+
+  SnapshotWriter(const std::string& path, std::uint64_t seed,
+                 std::uint32_t chunk_records = kDefaultChunkRecords);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void begin_snapshot(int measurement_index, std::int64_t date_days);
+  void add_host(const HostScanRecord& host);
+  void end_snapshot(std::uint64_t probes_sent, std::uint64_t tcp_open_count);
+
+  /// Convenience: append a fully materialized measurement.
+  void add_snapshot(const ScanSnapshot& snapshot);
+
+  /// Flushes the footer and closes the file (idempotent). Must be called
+  /// for the file to be loadable.
+  void finish();
+
+ private:
+  void flush_chunk();
+
+  std::string path_;
+  std::uint64_t seed_;
+  std::uint32_t chunk_records_;
+  std::vector<SnapshotMeta> snapshots_;
+  std::vector<SnapshotChunkInfo> chunks_;
+  Bytes chunk_buf_;
+  std::uint32_t buffered_records_ = 0;
+  std::uint64_t file_pos_ = 0;
+  std::ofstream out_;
+  bool in_snapshot_ = false;
+  bool finished_ = false;
+};
+
+/// Random-access chunk reader. Opening validates the header, seed, and the
+/// complete chunk index (offsets inside the file, record counts consistent
+/// with the per-snapshot host counts) and throws SnapshotError on any
+/// mismatch. read_chunk() is const and thread-safe: workers may decode
+/// disjoint chunks concurrently.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::string& path, std::uint64_t seed);
+
+  std::uint32_t version() const { return version_; }
+  const std::vector<SnapshotMeta>& snapshots() const { return snapshots_; }
+  const std::vector<SnapshotChunkInfo>& chunks() const { return chunks_; }
+  std::uint64_t total_records() const;
+
+  /// Decode one chunk into records (throws SnapshotError / DecodeError on
+  /// corrupt payload bytes).
+  std::vector<HostScanRecord> read_chunk(std::size_t chunk_index) const;
+
+  /// Stream every record in file order: fn(snapshot_ordinal, record).
+  /// Holds at most one decoded chunk at a time.
+  void for_each_host(
+      const std::function<void(std::size_t, const HostScanRecord&)>& fn) const;
+
+  /// Materialize everything (the legacy load-all path).
+  std::vector<ScanSnapshot> load_all() const;
+
+ private:
+  std::string path_;
+  std::uint32_t version_ = 0;
+  std::vector<SnapshotMeta> snapshots_;
+  std::vector<SnapshotChunkInfo> chunks_;
+  Bytes v4_data_;  // v4 only: whole file retained, chunk offsets point into it
+};
+
+/// Streams `snapshots` into a v5 file via SnapshotWriter.
 void save_snapshots(const std::string& path, std::uint64_t seed,
                     const std::vector<ScanSnapshot>& snapshots);
 
 /// Returns nullopt when the file is missing, corrupt, or was produced with
-/// a different seed/format version.
+/// a different seed/format version; `error` (when given) receives a
+/// human-readable reason.
 std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
-                                                        std::uint64_t seed);
+                                                        std::uint64_t seed,
+                                                        std::string* error = nullptr);
+
+/// Writes the retired monolithic v4 layout. Kept so the v4→v5 back-compat
+/// tests can fabricate historical files; production code writes v5.
+void save_snapshots_v4(const std::string& path, std::uint64_t seed,
+                       const std::vector<ScanSnapshot>& snapshots);
 
 }  // namespace opcua_study

@@ -53,4 +53,14 @@ std::vector<ScanSnapshot> run_full_study(const StudyConfig& config) {
   return snapshots;
 }
 
+void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer) {
+  for (int week = 0; week < kNumMeasurements; ++week) {
+    const ScanSnapshot snapshot = run_measurement(config, week);
+    writer.add_snapshot(snapshot);
+    // The snapshot goes out of scope here: at no point does the campaign
+    // hold more than one measurement in memory.
+  }
+  writer.finish();
+}
+
 }  // namespace opcua_study

@@ -5,6 +5,7 @@
 #include "population/deploy.hpp"
 #include "population/plan.hpp"
 #include "scanner/campaign.hpp"
+#include "scanner/snapshot_io.hpp"
 
 namespace opcua_study {
 
@@ -28,5 +29,10 @@ ScanSnapshot run_measurement(const StudyConfig& config, int week);
 
 /// Run all eight measurements of the paper's campaign.
 std::vector<ScanSnapshot> run_full_study(const StudyConfig& config);
+
+/// Same campaign, but each weekly measurement is appended to `writer`
+/// (chunked v5 snapshot stream) and dropped — the in-memory high-water
+/// mark is one measurement, not eight. finish() is called on completion.
+void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer);
 
 }  // namespace opcua_study
