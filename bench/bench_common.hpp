@@ -16,6 +16,7 @@
 #include "analysis/analysis.hpp"
 #include "scanner/snapshot_io.hpp"
 #include "study/study.hpp"
+#include "util/date.hpp"
 
 namespace opcua_study::bench {
 
@@ -46,6 +47,9 @@ inline std::string ensure_snapshot_cache() {
   StudyConfig config;
   config.seed = kStudySeed;
   SnapshotWriter writer(path, kStudySeed);
+  // Self-describing campaign identity: the diff subsystem validates that
+  // a follow-up campaign really postdates this base.
+  writer.set_campaign("imc2020-study", days_from_civil({2020, 2, 9}));
   run_full_study_streamed(config, writer);
   std::fprintf(stderr, "[bench] campaign cached to %s\n", path.c_str());
   return path;

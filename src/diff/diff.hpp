@@ -1,0 +1,137 @@
+// Cross-campaign differential analysis — the PAM 2022 "Missed
+// Opportunities" comparison as a subsystem.
+//
+// diff_campaigns() consumes the *final* measurement of two recorded
+// campaigns (base, follow-up) through the same RecordSource machinery the
+// Aggregator streams, and answers the longitudinal question the source
+// paper left open: did operators migrate, churn, or stay insecure?
+//
+// Pipeline (all deterministic, thread-count-invariant):
+//   1. posture pass   chunk workers reduce every host record to a compact
+//                     HostPosture summary (address, strongest advertised
+//                     mode/policy, deprecated/anonymous flags, deficiency
+//                     per the paper's §5.2 definition, certificate
+//                     fingerprints); partials concatenate in chunk-index
+//                     order, so the posture vectors are record-ordered
+//                     regardless of scheduling.
+//   2. matcher        hosts pair first by (ip, port); leftovers pair by
+//                     certificate fingerprint, accepted only when the
+//                     fingerprint identifies exactly one unmatched host on
+//                     *each* side (a reused certificate re-identifies
+//                     nobody). Follow-up hosts are scanned in record
+//                     order, so ties resolve identically on every run.
+//   3. report         posture transition matrices over the matched pairs,
+//                     population churn counts, certificate renewal vs.
+//                     verbatim reuse, and deficiency evolution.
+//
+// Memory is bounded by the posture summaries (tens of bytes per host —
+// fingerprints are truncated to 64 bits, never DER), not by the records:
+// two 1M-host campaigns diff comfortably where the load-all path holds
+// ~2 GB of decoded records (bench/campaign_diff.cpp pins both).
+#pragma once
+
+#include "analysis/analysis.hpp"
+
+namespace opcua_study {
+
+struct DiffOptions {
+  /// Worker threads for the posture pass; 0 = hardware concurrency,
+  /// 1 = inline. The resulting CampaignDiff is identical for any value.
+  int threads = 1;
+  /// Enforce that the inputs form a (base, follow-up) pair when both
+  /// declare a campaign identity (SnapshotMeta campaign label/epoch).
+  bool validate_pairing = true;
+  /// Chunk size when diffing in-memory snapshot vectors.
+  std::uint32_t chunk_records = SnapshotWriter::kDefaultChunkRecords;
+};
+
+/// 3x3 posture transition counts over matched hosts: rows = base bucket,
+/// columns = follow-up bucket.
+struct TransitionMatrix {
+  std::uint64_t counts[3][3] = {};
+
+  std::uint64_t at(std::size_t from, std::size_t to) const { return counts[from][to]; }
+  std::uint64_t total() const;
+  /// Matched hosts that moved to a strictly higher / lower bucket.
+  std::uint64_t upgraded() const;
+  std::uint64_t downgraded() const;
+
+  friend bool operator==(const TransitionMatrix&, const TransitionMatrix&) = default;
+};
+
+/// Bucket labels for the two matrices.
+inline constexpr const char* kModeBuckets[3] = {"None", "Sign", "SignAndEncrypt"};
+inline constexpr const char* kPolicyBuckets[3] = {"None", "Deprecated", "Secure"};
+
+struct CampaignDiff {
+  // Identity of the two compared measurements (campaign label/epoch is
+  // empty/0 for inputs that never declared one).
+  SnapshotMeta base_week, followup_week;
+
+  // Population accounting. matched = matched_by_address +
+  // matched_by_certificate; every base host is matched or retired, every
+  // follow-up host matched or arrived.
+  std::uint64_t base_hosts = 0, followup_hosts = 0;
+  std::uint64_t matched_by_address = 0;
+  std::uint64_t matched_by_certificate = 0;  // churned IP, re-identified by cert
+  std::uint64_t retired = 0;                 // present in base only
+  std::uint64_t arrived = 0;                 // present in follow-up only
+
+  // Posture transitions over matched hosts. Mode buckets: strongest
+  // advertised None / Sign / SignAndEncrypt; policy buckets: strongest
+  // advertised None / deprecated (Basic128Rsa15, Basic256) / secure.
+  TransitionMatrix mode_transitions;
+  TransitionMatrix policy_transitions;
+  std::uint64_t deprecated_retained = 0;  // announced deprecated in both
+  std::uint64_t deprecated_dropped = 0;
+  std::uint64_t deprecated_adopted = 0;
+  std::uint64_t anonymous_retained = 0;
+  std::uint64_t anonymous_dropped = 0;
+  std::uint64_t anonymous_adopted = 0;
+
+  // Certificate evolution over matched hosts.
+  std::uint64_t certs_verbatim = 0;  // identical fingerprint set (§5.3 reuse)
+  std::uint64_t certs_renewed = 0;   // disjoint non-empty sets
+  std::uint64_t certs_rotated = 0;   // both non-empty, partial overlap
+  std::uint64_t certs_gained = 0;    // no certificate before, some now
+  std::uint64_t certs_lost = 0;      // some certificate before, none now
+  std::uint64_t certs_absent = 0;    // no certificate on either side
+
+  // Deficiency evolution (paper §5.2: None-only, deprecated maximum, weak
+  // certificate, or anonymous access) over matched hosts.
+  std::uint64_t still_deficient = 0;
+  std::uint64_t remediated = 0;      // deficient -> clean
+  std::uint64_t regressed = 0;       // clean -> deficient
+  std::uint64_t never_deficient = 0;
+
+  std::uint64_t matched() const { return matched_by_address + matched_by_certificate; }
+
+  /// Equality of every count, ignoring the campaign identity metadata —
+  /// what the determinism tests compare across streamed vs. load-all
+  /// inputs (in-memory snapshots carry no campaign labels).
+  bool counts_equal(const CampaignDiff& other) const;
+
+  friend bool operator==(const CampaignDiff&, const CampaignDiff&) = default;
+};
+
+/// Diff the final measurements of two campaigns. Throws SnapshotError when
+/// either campaign is empty, or (validate_pairing) when both inputs
+/// declare campaign identities that do not form a base -> follow-up pair.
+CampaignDiff diff_campaigns(const RecordSource& base, const RecordSource& followup,
+                            const DiffOptions& options = {});
+
+/// Diff two recorded snapshot files, streaming both chunk by chunk.
+CampaignDiff diff_files(const std::string& base_path, std::uint64_t base_seed,
+                        const std::string& followup_path, std::uint64_t followup_seed,
+                        const DiffOptions& options = {});
+
+/// Diff two in-memory campaigns (the load-all path).
+CampaignDiff diff_snapshots(const std::vector<ScanSnapshot>& base,
+                            const std::vector<ScanSnapshot>& followup,
+                            const DiffOptions& options = {});
+
+/// The machine-readable report (report/json.hpp formatting) —
+/// examples/diff_report.cpp writes this next to its tables.
+std::string campaign_diff_json(const CampaignDiff& diff);
+
+}  // namespace opcua_study

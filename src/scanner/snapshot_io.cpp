@@ -14,6 +14,7 @@ constexpr std::uint32_t kVersion = 5;
 constexpr std::uint32_t kLegacyVersion = 4;
 constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
 constexpr std::uint32_t kFooterMagic = 0x544f4f46; // "FOOT"
+constexpr std::uint32_t kCampaignMagic = 0x504d4143;  // "CAMP"
 constexpr std::uint32_t kEndMagic = 0x50414e53;    // "SNAP"
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
 constexpr std::size_t kChunkHeaderBytes = 4 + 4 + 4 + 8;
@@ -185,12 +186,21 @@ SnapshotWriter::~SnapshotWriter() {
   // silently analyzing a truncated study.
 }
 
+void SnapshotWriter::set_campaign(const std::string& label, std::int64_t epoch_days) {
+  if (finished_) throw SnapshotError("snapshot writer already finished: " + path_);
+  campaign_label_ = label;
+  campaign_epoch_days_ = epoch_days;
+  campaign_set_ = true;
+}
+
 void SnapshotWriter::begin_snapshot(int measurement_index, std::int64_t date_days) {
   if (finished_) throw SnapshotError("snapshot writer already finished: " + path_);
   if (in_snapshot_) throw SnapshotError("begin_snapshot while a snapshot is open: " + path_);
   SnapshotMeta meta;
   meta.measurement_index = measurement_index;
   meta.date_days = date_days;
+  meta.campaign_label = campaign_label_;
+  meta.campaign_epoch_days = campaign_epoch_days_;
   snapshots_.push_back(meta);
   in_snapshot_ = true;
 }
@@ -263,6 +273,13 @@ void SnapshotWriter::finish() {
     w.u32(chunk.record_count);
     w.u64(chunk.file_offset);
     w.u64(chunk.payload_bytes);
+  }
+  if (campaign_set_) {
+    w.u32(kCampaignMagic);
+    for (const auto& meta : snapshots_) {
+      w.string(meta.campaign_label);
+      w.i64(meta.campaign_epoch_days);
+    }
   }
   w.u64(footer_offset);
   w.u32(kEndMagic);
@@ -413,6 +430,15 @@ SnapshotReader::SnapshotReader(const std::string& path, std::uint64_t seed) : pa
         throw DecodeError("chunk index not ordered by snapshot");
       }
       chunks_.push_back(chunk);
+    }
+    if (!r.done()) {
+      // Optional campaign block: files written before labels existed (or
+      // without set_campaign) simply end after the chunk table.
+      if (r.u32() != kCampaignMagic) throw DecodeError("bad campaign block magic");
+      for (std::uint32_t i = 0; i < snapshot_count; ++i) {
+        snapshots_[i].campaign_label = r.string();
+        snapshots_[i].campaign_epoch_days = r.i64();
+      }
     }
     if (!r.done()) throw DecodeError("trailing bytes in footer");
     for (std::uint32_t i = 0; i < snapshot_count; ++i) {

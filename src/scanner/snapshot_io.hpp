@@ -25,7 +25,15 @@
 //            u32 chunk_count
 //            chunk*: u32 snapshot_ordinal  u32 record_count
 //                    u64 file_offset  u64 payload_bytes
+//            [optional campaign block — only when a label/epoch was set:
+//             u32 'CAMP'  snapshot*: string campaign_label  i64 epoch_days]
 //   trailer: u64 footer_offset  u32 'SNAP'
+//
+// The campaign block makes diff inputs self-describing (src/diff/ checks
+// that a follow-up campaign really is later than its base). Files written
+// without SnapshotWriter::set_campaign omit the block and stay
+// byte-identical to pre-label v5 files; readers default absent labels to
+// ""/0, and the v4 load path is unaffected.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +64,10 @@ struct SnapshotMeta {
   std::uint64_t probes_sent = 0;
   std::uint64_t tcp_open_count = 0;
   std::uint64_t host_count = 0;
+  /// Which recorded campaign this measurement belongs to. Empty label /
+  /// zero epoch = undeclared (v4 files and v5 files predating the label).
+  std::string campaign_label;
+  std::int64_t campaign_epoch_days = 0;
 
   friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
 };
@@ -87,6 +99,11 @@ class SnapshotWriter {
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
+  /// Stamp every *subsequent* begin_snapshot() with a campaign identity.
+  /// Never called -> the footer omits the campaign block and the file is
+  /// byte-identical to one written before labels existed.
+  void set_campaign(const std::string& label, std::int64_t epoch_days);
+
   void begin_snapshot(int measurement_index, std::int64_t date_days);
   void add_host(const HostScanRecord& host);
   void end_snapshot(std::uint64_t probes_sent, std::uint64_t tcp_open_count);
@@ -104,6 +121,9 @@ class SnapshotWriter {
   std::string path_;
   std::uint64_t seed_;
   std::uint32_t chunk_records_;
+  std::string campaign_label_;
+  std::int64_t campaign_epoch_days_ = 0;
+  bool campaign_set_ = false;
   std::vector<SnapshotMeta> snapshots_;
   std::vector<SnapshotChunkInfo> chunks_;
   Bytes chunk_buf_;

@@ -1,0 +1,73 @@
+#include "study/followup.hpp"
+
+namespace opcua_study {
+
+namespace {
+
+constexpr std::int64_t kTwoYearsDays = 730;
+
+ScanSnapshot followup_shell(const FollowupConfig& config, const SnapshotMeta& base_final) {
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = 0;
+  snapshot.date_days = followup_epoch_days(config, base_final.date_days);
+  // The follow-up scan sweeps the same Internet: probe effort carries
+  // over; only the population in the records changes.
+  snapshot.probes_sent = base_final.probes_sent;
+  snapshot.tcp_open_count = base_final.tcp_open_count;
+  return snapshot;
+}
+
+}  // namespace
+
+std::int64_t followup_epoch_days(const FollowupConfig& config, std::int64_t base_final_days) {
+  return config.epoch_days != 0 ? config.epoch_days : base_final_days + kTwoYearsDays;
+}
+
+std::vector<ScanSnapshot> run_followup_study(const std::vector<ScanSnapshot>& base,
+                                             const FollowupConfig& config) {
+  if (base.empty()) {
+    throw SnapshotError("follow-up study needs a base campaign with >= 1 measurement");
+  }
+  const FollowupModel model(config);
+  const ScanSnapshot& final_week = base.back();
+
+  SnapshotMeta base_meta;
+  base_meta.date_days = final_week.date_days;
+  base_meta.probes_sent = final_week.probes_sent;
+  base_meta.tcp_open_count = final_week.tcp_open_count;
+  ScanSnapshot snapshot = followup_shell(config, base_meta);
+  snapshot.hosts.reserve(final_week.hosts.size());
+  for (const auto& host : final_week.hosts) {
+    if (auto evolved = model.evolve(host)) snapshot.hosts.push_back(std::move(*evolved));
+  }
+  model.visit_new_deployments(final_week.hosts.size(), [&](HostScanRecord&& host) {
+    snapshot.hosts.push_back(std::move(host));
+  });
+  return {std::move(snapshot)};
+}
+
+void run_followup_study_streamed(const SnapshotReader& reader, const FollowupConfig& config,
+                                 SnapshotWriter& writer) {
+  if (reader.snapshots().empty()) {
+    throw SnapshotError("follow-up study needs a base campaign with >= 1 measurement");
+  }
+  const FollowupModel model(config);
+  const std::size_t final_week = reader.snapshots().size() - 1;
+  const SnapshotMeta& base_meta = reader.snapshots()[final_week];
+  const ScanSnapshot shell = followup_shell(config, base_meta);
+
+  writer.set_campaign(config.campaign_label, shell.date_days);
+  writer.begin_snapshot(shell.measurement_index, shell.date_days);
+  for (std::size_t c = 0; c < reader.chunks().size(); ++c) {
+    if (reader.chunks()[c].snapshot_ordinal != final_week) continue;
+    for (const HostScanRecord& host : reader.read_chunk(c)) {
+      if (auto evolved = model.evolve(host)) writer.add_host(*evolved);
+    }
+  }
+  model.visit_new_deployments(base_meta.host_count,
+                              [&](HostScanRecord&& host) { writer.add_host(host); });
+  writer.end_snapshot(shell.probes_sent, shell.tcp_open_count);
+  writer.finish();
+}
+
+}  // namespace opcua_study

@@ -1,0 +1,33 @@
+// Follow-up-study orchestration: replay the evolution model over a
+// recorded base campaign to produce the "two years later" measurement the
+// diff subsystem (src/diff/) compares against.
+//
+// Both entry points evolve the *final* measurement of the base campaign
+// (the paper's headline snapshot) host by host in record order — survivors
+// first, then the new deployments — so the streamed and in-memory paths
+// produce the identical measurement. The streamed variant holds one
+// decoded chunk plus the certificate mint fleet; the base campaign is
+// never materialized.
+#pragma once
+
+#include "population/followup.hpp"
+#include "scanner/snapshot_io.hpp"
+
+namespace opcua_study {
+
+/// Evolve `base` (full campaign, in memory) into a one-measurement
+/// follow-up campaign. Throws SnapshotError when `base` is empty.
+std::vector<ScanSnapshot> run_followup_study(const std::vector<ScanSnapshot>& base,
+                                             const FollowupConfig& config);
+
+/// Same campaign streamed: the base's final measurement is read chunk by
+/// chunk from `reader` and the evolved records appended to `writer`
+/// (campaign label/epoch stamped, finish() called on completion).
+void run_followup_study_streamed(const SnapshotReader& reader, const FollowupConfig& config,
+                                 SnapshotWriter& writer);
+
+/// The effective epoch of a follow-up campaign: the configured value, or
+/// the base campaign's final measurement plus two years when unset.
+std::int64_t followup_epoch_days(const FollowupConfig& config, std::int64_t base_final_days);
+
+}  // namespace opcua_study

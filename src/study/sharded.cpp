@@ -2,9 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 namespace opcua_study {
+
+namespace {
+
+void sort_by_endpoint(std::vector<HostScanRecord>& hosts) {
+  std::sort(hosts.begin(), hosts.end(), [](const HostScanRecord& a, const HostScanRecord& b) {
+    return std::make_pair(a.ip, a.port) < std::make_pair(b.ip, b.port);
+  });
+}
+
+}  // namespace
 
 std::uint64_t ShardedRunStats::max_simulated_us() const {
   std::uint64_t max_us = 0;
@@ -70,33 +83,133 @@ ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
     // unsharded probe count.
     merged.probes_sent = shard_snapshots.front().probes_sent;
   }
-  std::sort(merged.hosts.begin(), merged.hosts.end(),
-            [](const HostScanRecord& a, const HostScanRecord& b) {
-              return std::make_pair(a.ip, a.port) < std::make_pair(b.ip, b.port);
-            });
+  sort_by_endpoint(merged.hosts);
   return merged;
 }
 
-ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
-                                     std::size_t max_in_flight, int threads) {
-  const PopulationPlan plan = build_population_plan(config.seed);
+SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
+                                           const ShardedCampaignConfig& config,
+                                           SnapshotWriter& writer, ShardedRunStats* stats) {
+  const int shards = std::max(1, config.shards);
+  std::vector<std::unique_ptr<Network>> networks;
+  networks.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    networks.push_back(std::make_unique<Network>());
+    deployer.deploy_week(*networks.back(), week, ShardSpec{s, shards});
+  }
+
+  SnapshotMeta meta;
+  meta.measurement_index = week;
+  meta.date_days = measurement_days(week);
+  writer.begin_snapshot(meta.measurement_index, meta.date_days);
+
+  // Workers park finished shard snapshots; the caller drains them in
+  // shard-index order and appends each batch to the writer, so writing
+  // overlaps scanning and the written bytes never depend on completion
+  // order. Each batch is freed as soon as it is written, and a worker may
+  // not *start* a shard more than one window ahead of the drain cursor —
+  // a straggling shard 0 therefore parks at most `window` batches, never
+  // the whole measurement (the high-water-mark promise in the header).
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const int thread_count =
+      std::min(shards, config.threads > 0 ? config.threads : static_cast<int>(hardware));
+  const int window = 2 * thread_count;
+  std::mutex mu;
+  std::condition_variable ready;   // caller waits: parked[s] filled
+  std::condition_variable drained; // workers wait: drain cursor advanced
+  std::vector<std::optional<ScanSnapshot>> parked(static_cast<std::size_t>(shards));
+  int drain_cursor = 0;  // guarded by mu
+  std::atomic<int> next_shard{0};
+  auto worker = [&] {
+    for (int s = next_shard.fetch_add(1); s < shards; s = next_shard.fetch_add(1)) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        drained.wait(lock, [&] { return s < drain_cursor + window; });
+      }
+      Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
+      ScanSnapshot snapshot = campaign.run(week);
+      sort_by_endpoint(snapshot.hosts);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        parked[static_cast<std::size_t>(s)] = std::move(snapshot);
+      }
+      ready.notify_all();
+    }
+  };
+  std::vector<std::thread> pool;
+  if (thread_count > 1) {
+    pool.reserve(static_cast<std::size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+  }
+
+  std::uint64_t probes_sent = 0, tcp_open_count = 0, lfsr_probes = 0;
+  for (int s = 0; s < shards; ++s) {
+    ScanSnapshot snapshot;
+    if (thread_count > 1) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        ready.wait(lock, [&] { return parked[static_cast<std::size_t>(s)].has_value(); });
+        snapshot = std::move(*parked[static_cast<std::size_t>(s)]);
+        parked[static_cast<std::size_t>(s)].reset();
+        drain_cursor = s + 1;
+      }
+      drained.notify_all();
+    } else {
+      // Inline: scan shard s, write it, drop it — one shard resident.
+      Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
+      snapshot = campaign.run(week);
+      sort_by_endpoint(snapshot.hosts);
+    }
+    probes_sent += snapshot.probes_sent;
+    tcp_open_count += snapshot.tcp_open_count;
+    if (s == 0) lfsr_probes = snapshot.probes_sent;
+    for (const auto& host : snapshot.hosts) {
+      writer.add_host(host);
+      ++meta.host_count;
+    }
+  }
+  for (auto& thread : pool) thread.join();
+
+  if (!config.campaign.oracle_sweep) {
+    // LFSR mode: every shard walks the identical universe (see the merge
+    // in run_sharded_campaign); one shard's walk is the campaign's count.
+    probes_sent = lfsr_probes;
+  }
+  meta.probes_sent = probes_sent;
+  meta.tcp_open_count = tcp_open_count;
+  writer.end_snapshot(meta.probes_sent, meta.tcp_open_count);
+
+  if (stats != nullptr) {
+    stats->shard_simulated_us.clear();
+    for (const auto& net : networks) stats->shard_simulated_us.push_back(net->clock().now_us());
+  }
+  return meta;
+}
+
+ShardedStudy::ShardedStudy(const StudyConfig& config, int shards, std::size_t max_in_flight,
+                           int threads)
+    : plan_(build_population_plan(config.seed)) {
   DeployConfig deploy_config;
   deploy_config.seed = config.seed;
   deploy_config.dummy_hosts = config.dummy_hosts;
   deploy_config.key_threads = config.key_threads;
   deploy_config.key_cache_path = config.key_cache_path;
-  Deployer deployer(plan, deploy_config);
+  deployer_ = std::make_unique<Deployer>(plan_, deploy_config);
 
   KeyFactory scanner_keys(config.seed, config.key_cache_path);
-  ShardedCampaignConfig sharded;
-  sharded.campaign.seed = config.seed;
-  sharded.campaign.exclusions = deployer.exclusion_list();
-  sharded.campaign.grabber.client = make_scanner_identity(config.seed, scanner_keys);
-  sharded.campaign.grabber.traverse_address_space = config.traverse_address_space;
-  sharded.campaign.max_in_flight = max_in_flight;
-  sharded.shards = shards;
-  sharded.threads = threads;
-  return run_sharded_campaign(deployer, week, sharded);
+  config_.campaign.seed = config.seed;
+  config_.campaign.exclusions = deployer_->exclusion_list();
+  config_.campaign.grabber.client = make_scanner_identity(config.seed, scanner_keys);
+  config_.campaign.grabber.traverse_address_space = config.traverse_address_space;
+  config_.campaign.max_in_flight = max_in_flight;
+  config_.shards = shards;
+  config_.threads = threads;
+}
+
+ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
+                                     std::size_t max_in_flight, int threads) {
+  ShardedStudy study(config, shards, max_in_flight, threads);
+  return run_sharded_campaign(study.deployer(), week, study.config());
 }
 
 }  // namespace opcua_study

@@ -38,6 +38,39 @@ ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
                                   const ShardedCampaignConfig& config,
                                   ShardedRunStats* stats = nullptr);
 
+/// Same campaign, but each finished shard's host batch is handed to
+/// `writer` directly (one begin/end_snapshot pair for the measurement) —
+/// the in-memory high-water mark is the in-flight shard snapshots, never
+/// the merged measurement. Canonical record order is shard-major: shard
+/// batches in shard-index order, hosts sorted by (ip, port) inside each
+/// batch; out-of-order completions are parked until their turn, so the
+/// written bytes are identical for any worker-thread count. The caller
+/// still owns begin-of-file and finish(). Returns the measurement's meta.
+SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
+                                           const ShardedCampaignConfig& config,
+                                           SnapshotWriter& writer,
+                                           ShardedRunStats* stats = nullptr);
+
+/// Shared setup for the study-level sharded entry points: population
+/// plan, deployer and campaign config built once from a StudyConfig and
+/// reusable across the eight weekly measurements (key/cert memoisation
+/// lives in the deployer). Non-movable: the deployer references the plan.
+class ShardedStudy {
+ public:
+  ShardedStudy(const StudyConfig& config, int shards, std::size_t max_in_flight = 256,
+               int threads = 0);
+  ShardedStudy(const ShardedStudy&) = delete;
+  ShardedStudy& operator=(const ShardedStudy&) = delete;
+
+  Deployer& deployer() { return *deployer_; }
+  const ShardedCampaignConfig& config() const { return config_; }
+
+ private:
+  PopulationPlan plan_;
+  std::unique_ptr<Deployer> deployer_;
+  ShardedCampaignConfig config_;
+};
+
 /// The full weekly measurement of the study, sharded. Equivalent host set
 /// to run_measurement(); hosts sorted by (ip, port) instead of sweep order.
 ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,

@@ -1,6 +1,7 @@
 #include "study/study.hpp"
 
 #include "crypto/x509.hpp"
+#include "study/sharded.hpp"
 
 namespace opcua_study {
 
@@ -54,6 +55,17 @@ std::vector<ScanSnapshot> run_full_study(const StudyConfig& config) {
 }
 
 void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer) {
+  if (config.shards > 1) {
+    // Sharded streaming: finished shard batches flow into the writer while
+    // other shards are still scanning — the high-water mark is the
+    // in-flight shard snapshots, never a full merged measurement.
+    ShardedStudy study(config, config.shards, /*max_in_flight=*/256, config.scan_threads);
+    for (int week = 0; week < kNumMeasurements; ++week) {
+      run_sharded_campaign_streamed(study.deployer(), week, study.config(), writer);
+    }
+    writer.finish();
+    return;
+  }
   for (int week = 0; week < kNumMeasurements; ++week) {
     const ScanSnapshot snapshot = run_measurement(config, week);
     writer.add_snapshot(snapshot);

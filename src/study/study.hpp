@@ -17,6 +17,13 @@ struct StudyConfig {
   /// snapshots are field-identical for any value.
   int key_threads = 0;
   std::string key_cache_path = KeyFactory::default_cache_path();
+  /// > 1: run_full_study_streamed partitions each measurement across
+  /// shards and hands finished shard batches to the writer directly
+  /// (shard-major host order, bytes identical for any scan_threads).
+  /// 1 keeps the legacy sweep-order file, byte-identical to older caches.
+  int shards = 1;
+  /// Worker threads for the sharded scan; 0 = hardware concurrency.
+  int scan_threads = 0;
 };
 
 /// The scanner's own identity (self-signed certificate with research
