@@ -462,14 +462,23 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   ThreadPool pool(options.threads);
 
   // ---- pass 1: certificate census of the final measurement --------------
+  // Early prefix merge: completed chunk partials are folded into the
+  // census as workers advance (in chunk order, so the result is identical
+  // to the old merge-at-the-end pass), and each merged partial is freed
+  // immediately — the peak is the in-flight chunks, not every chunk.
   std::vector<CensusPartial> census_partials(final_chunks.size());
-  pool.parallel_for(final_chunks.size(), [&](std::size_t i) {
-    source.visit_chunk(final_chunks[i], [&](const HostScanRecord& host) {
-      census_partials[i].absorb(host, options.shared_primes);
-    });
-  });
   CensusPartial census;
-  for (auto& partial : census_partials) census.merge(std::move(partial));
+  pool.parallel_for_merged(
+      final_chunks.size(),
+      [&](std::size_t i) {
+        source.visit_chunk(final_chunks[i], [&](const HostScanRecord& host) {
+          census_partials[i].absorb(host, options.shared_primes);
+        });
+      },
+      [&](std::size_t i) {
+        census.merge(std::move(census_partials[i]));
+        census_partials[i] = CensusPartial{};
+      });
   census_partials.clear();
 
   FinalWeekSets sets;
@@ -481,15 +490,12 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   }
 
   // ---- pass 2: figures + weekly tallies + host history ------------------
-  std::vector<ChunkPartial> partials(chunk_count);
-  pool.parallel_for(chunk_count, [&](std::size_t c) {
-    const bool is_final = source.chunk_week(c) == final_week;
-    source.visit_chunk(c, [&](const HostScanRecord& host) {
-      partials[c].absorb(host, is_final, sets);
-    });
-  });
-
-  // ---- ordered merge ----------------------------------------------------
+  // The ordered merge runs *inside* the parallel pass: as soon as the
+  // contiguous prefix of chunks has been aggregated, those partials fold
+  // into the running totals (in chunk-index order — bit-identical to the
+  // old merge-after-everything loop) and die. On a 10M-host stream the
+  // per-host history summaries of every chunk used to coexist until the
+  // end; now at most the unmerged suffix does.
   ChunkPartial total;
   std::vector<WeeklyObservation> week_obs(weeks);
   struct HostHistory {
@@ -499,30 +505,38 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
     std::vector<std::string> software;
   };
   std::map<std::pair<Ipv4, std::uint16_t>, HostHistory> history;
-  for (std::size_t c = 0; c < chunk_count; ++c) {
-    ChunkPartial& partial = partials[c];
-    const std::size_t week = source.chunk_week(c);
-    WeeklyObservation& obs = week_obs[week];
-    obs.servers += partial.servers;
-    obs.discovery += partial.discovery;
-    obs.via_reference += partial.via_reference;
-    obs.non_default_port += partial.non_default_port;
-    obs.deficient += partial.deficient;
-    obs.reuse_devices += partial.reuse_devices;
-    merge_count_map(obs.by_manufacturer, partial.by_manufacturer);
-    for (auto& [fp, info] : partial.corpus) total.corpus.try_emplace(fp, info);
-    const int measurement_index = analysis.weeks[week].measurement_index;
-    for (auto& host_obs : partial.history) {
-      HostHistory& h = history[{host_obs.ip, host_obs.port}];
-      h.weeks.push_back(measurement_index);
-      h.cert_sets.push_back(std::move(host_obs.fps));
-      h.hashes.push_back(std::move(host_obs.hashes));
-      h.software.push_back(std::move(host_obs.software));
-    }
-    partial.history.clear();
-    partial.corpus.clear();
-    merge_figures(total, std::move(partial));
-  }
+  std::vector<ChunkPartial> partials(chunk_count);
+  pool.parallel_for_merged(
+      chunk_count,
+      [&](std::size_t c) {
+        const bool is_final = source.chunk_week(c) == final_week;
+        source.visit_chunk(c, [&](const HostScanRecord& host) {
+          partials[c].absorb(host, is_final, sets);
+        });
+      },
+      [&](std::size_t c) {
+        ChunkPartial& partial = partials[c];
+        const std::size_t week = source.chunk_week(c);
+        WeeklyObservation& obs = week_obs[week];
+        obs.servers += partial.servers;
+        obs.discovery += partial.discovery;
+        obs.via_reference += partial.via_reference;
+        obs.non_default_port += partial.non_default_port;
+        obs.deficient += partial.deficient;
+        obs.reuse_devices += partial.reuse_devices;
+        merge_count_map(obs.by_manufacturer, partial.by_manufacturer);
+        for (auto& [fp, info] : partial.corpus) total.corpus.try_emplace(fp, info);
+        const int measurement_index = analysis.weeks[week].measurement_index;
+        for (auto& host_obs : partial.history) {
+          HostHistory& h = history[{host_obs.ip, host_obs.port}];
+          h.weeks.push_back(measurement_index);
+          h.cert_sets.push_back(std::move(host_obs.fps));
+          h.hashes.push_back(std::move(host_obs.hashes));
+          h.software.push_back(std::move(host_obs.software));
+        }
+        merge_figures(total, std::move(partial));
+        partial = ChunkPartial{};
+      });
   partials.clear();
 
   // ---- finalize: Fig. 5 reuse clusters ----------------------------------

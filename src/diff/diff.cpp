@@ -1,120 +1,15 @@
-// Streaming implementation of the cross-campaign matcher and diff report.
-//
-// Determinism rests on two invariants mirrored from the Aggregator:
-// posture partials are produced by workers in any order but concatenated
-// in chunk-index order (so the posture vectors are record-ordered), and
-// every matching pass iterates those vectors front to back — ties and
-// duplicates therefore resolve identically for any thread count.
+// The pairwise campaign diff, re-expressed as the N=2 specialization of
+// the series matcher: collect postures for both campaigns, run the
+// two-pass matcher, tally the transition report. All the determinism
+// reasoning lives with the shared core in src/series/matcher.cpp.
 #include "diff/diff.hpp"
 
-#include <unordered_map>
-
 #include "report/json.hpp"
+#include "scanner/snapshot_io.hpp"
+#include "series/matcher.hpp"
 #include "util/thread_pool.hpp"
 
 namespace opcua_study {
-
-namespace {
-
-/// Compact per-host summary: everything the matcher and the transition
-/// tallies need, nothing else. Fingerprints are the first 8 bytes of the
-/// SHA-1 thumbprint — 64 bits is collision-free in practice at study
-/// scale and keeps two million summaries far below the decoded records.
-struct HostPosture {
-  Ipv4 ip = 0;
-  std::uint16_t port = 0;
-  std::uint8_t mode_bucket = 0;    // index into kModeBuckets
-  std::uint8_t policy_bucket = 0;  // index into kPolicyBuckets
-  bool supports_deprecated = false;
-  bool anonymous = false;
-  bool deficient = false;
-  std::vector<std::uint64_t> fps;  // sorted, deduplicated
-};
-
-std::uint64_t fingerprint64(const Bytes& der) {
-  const Bytes thumb = x509_thumbprint(der);
-  std::uint64_t fp = 0;
-  for (std::size_t i = 0; i < 8 && i < thumb.size(); ++i) fp = fp << 8 | thumb[i];
-  return fp;
-}
-
-HostPosture absorb(const HostScanRecord& host) {
-  HostPosture p;
-  p.ip = host.ip;
-  p.port = host.port;
-
-  MessageSecurityMode strongest_mode = MessageSecurityMode::Invalid;
-  for (const auto mode : host.advertised_modes()) {
-    if (security_mode_rank(mode) > security_mode_rank(strongest_mode)) strongest_mode = mode;
-  }
-  switch (strongest_mode) {
-    case MessageSecurityMode::Sign: p.mode_bucket = 1; break;
-    case MessageSecurityMode::SignAndEncrypt: p.mode_bucket = 2; break;
-    default: p.mode_bucket = 0; break;  // None or no endpoints
-  }
-
-  const SecurityPolicy max = strongest_policy(host);
-  const auto& info = policy_info(max);
-  p.policy_bucket = info.secure ? 2 : info.deprecated ? 1 : 0;
-  for (const auto policy : host.advertised_policies()) {
-    p.supports_deprecated |= policy_info(policy).deprecated;
-  }
-  p.anonymous = host.anonymous_offered;
-  // The paper's §5.2 deficiency definition — the assess/ reference helper,
-  // so the diff can never drift from the per-campaign analyses.
-  p.deficient = is_deficient(host);
-
-  for (const auto& der : host.distinct_certificates()) p.fps.push_back(fingerprint64(der));
-  std::sort(p.fps.begin(), p.fps.end());
-  p.fps.erase(std::unique(p.fps.begin(), p.fps.end()), p.fps.end());
-  return p;
-}
-
-/// Posture pass over a campaign's final measurement: chunk-parallel
-/// absorb, chunk-ordered concatenation.
-std::vector<HostPosture> collect_postures(const RecordSource& source, ThreadPool& pool) {
-  const std::size_t final_week = source.week_count() - 1;
-  std::vector<std::size_t> final_chunks;
-  for (std::size_t c = 0; c < source.chunk_count(); ++c) {
-    if (source.chunk_week(c) == final_week) final_chunks.push_back(c);
-  }
-  std::vector<std::vector<HostPosture>> partials(final_chunks.size());
-  pool.parallel_for(final_chunks.size(), [&](std::size_t i) {
-    source.visit_chunk(final_chunks[i],
-                       [&](const HostScanRecord& host) { partials[i].push_back(absorb(host)); });
-  });
-  std::vector<HostPosture> postures;
-  postures.reserve(source.week_meta(final_week).host_count);
-  for (auto& partial : partials) {
-    for (auto& p : partial) postures.push_back(std::move(p));
-  }
-  return postures;
-}
-
-std::uint64_t address_key(const HostPosture& p) {
-  return static_cast<std::uint64_t>(p.ip) << 16 | p.port;
-}
-
-void validate_pairing(const SnapshotMeta& base, const SnapshotMeta& followup) {
-  const bool base_declared = !base.campaign_label.empty() || base.campaign_epoch_days != 0;
-  const bool followup_declared =
-      !followup.campaign_label.empty() || followup.campaign_epoch_days != 0;
-  if (!base_declared || !followup_declared) return;  // legacy inputs: nothing to check
-  if (base.campaign_epoch_days != 0 && followup.campaign_epoch_days != 0 &&
-      followup.campaign_epoch_days <= base.campaign_epoch_days) {
-    throw SnapshotError("campaign pairing: follow-up campaign '" + followup.campaign_label +
-                        "' (epoch " + std::to_string(followup.campaign_epoch_days) +
-                        ") is not after base campaign '" + base.campaign_label + "' (epoch " +
-                        std::to_string(base.campaign_epoch_days) + ")");
-  }
-  if (base.campaign_label == followup.campaign_label &&
-      base.campaign_epoch_days == followup.campaign_epoch_days) {
-    throw SnapshotError("campaign pairing: both inputs declare the same campaign '" +
-                        base.campaign_label + "'");
-  }
-}
-
-}  // namespace
 
 std::uint64_t TransitionMatrix::total() const {
   std::uint64_t sum = 0;
@@ -140,6 +35,11 @@ std::uint64_t TransitionMatrix::downgraded() const {
   return sum;
 }
 
+double CampaignDiff::mean_match_confidence() const {
+  return opcua_study::mean_match_confidence(matched_by_address, cert_matches_corroborated,
+                                            cert_matches_bare);
+}
+
 bool CampaignDiff::counts_equal(const CampaignDiff& other) const {
   auto strip = [](CampaignDiff d) {
     d.base_week.campaign_label.clear();
@@ -156,117 +56,16 @@ CampaignDiff diff_campaigns(const RecordSource& base, const RecordSource& follow
   if (base.week_count() == 0 || followup.week_count() == 0) {
     throw SnapshotError("campaign diff needs >= 1 measurement per campaign");
   }
-  CampaignDiff diff;
-  diff.base_week = base.week_meta(base.week_count() - 1);
-  diff.followup_week = followup.week_meta(followup.week_count() - 1);
-  if (options.validate_pairing) validate_pairing(diff.base_week, diff.followup_week);
+  const SnapshotMeta base_week = base.week_meta(base.week_count() - 1);
+  const SnapshotMeta followup_week = followup.week_meta(followup.week_count() - 1);
+  if (options.validate_pairing) validate_campaign_chain({base_week, followup_week});
 
   ThreadPool pool(options.threads);
   const std::vector<HostPosture> a = collect_postures(base, pool);
   const std::vector<HostPosture> b = collect_postures(followup, pool);
-  diff.base_hosts = a.size();
-  diff.followup_hosts = b.size();
-
-  // ---- pass 1: match by address -----------------------------------------
-  std::unordered_map<std::uint64_t, std::uint32_t> base_by_address;
-  base_by_address.reserve(a.size());
-  for (std::uint32_t i = 0; i < a.size(); ++i) {
-    base_by_address.emplace(address_key(a[i]), i);  // first record wins
-  }
-  constexpr std::uint32_t kUnmatched = 0xffffffffu;
-  std::vector<std::uint32_t> match_of(b.size(), kUnmatched);
-  std::vector<bool> base_used(a.size(), false);
-  std::vector<bool> cert_matched(b.size(), false);
-  for (std::uint32_t bi = 0; bi < b.size(); ++bi) {
-    const auto it = base_by_address.find(address_key(b[bi]));
-    if (it == base_by_address.end() || base_used[it->second]) continue;
-    match_of[bi] = it->second;
-    base_used[it->second] = true;
-  }
-
-  // ---- pass 2: re-identify churned hosts by certificate fingerprint ----
-  // A fingerprint is a usable identity only when it points at exactly one
-  // unmatched host on each side; reused certificates identify nobody.
-  struct FpSlot {
-    std::uint32_t count = 0;
-    std::uint32_t index = 0;
-  };
-  std::unordered_map<std::uint64_t, FpSlot> base_fps;
-  for (std::uint32_t ai = 0; ai < a.size(); ++ai) {
-    if (base_used[ai]) continue;
-    for (const std::uint64_t fp : a[ai].fps) {
-      FpSlot& slot = base_fps[fp];
-      ++slot.count;
-      slot.index = ai;
-    }
-  }
-  std::unordered_map<std::uint64_t, std::uint32_t> followup_fp_count;
-  for (std::uint32_t bi = 0; bi < b.size(); ++bi) {
-    if (match_of[bi] != kUnmatched) continue;
-    for (const std::uint64_t fp : b[bi].fps) ++followup_fp_count[fp];
-  }
-  for (std::uint32_t bi = 0; bi < b.size(); ++bi) {
-    if (match_of[bi] != kUnmatched) continue;
-    for (const std::uint64_t fp : b[bi].fps) {
-      const auto it = base_fps.find(fp);
-      if (it == base_fps.end() || it->second.count != 1) continue;
-      if (followup_fp_count[fp] != 1 || base_used[it->second.index]) continue;
-      match_of[bi] = it->second.index;
-      base_used[it->second.index] = true;
-      cert_matched[bi] = true;
-      break;
-    }
-  }
-
-  // ---- tally ------------------------------------------------------------
-  for (std::uint32_t bi = 0; bi < b.size(); ++bi) {
-    if (match_of[bi] == kUnmatched) {
-      ++diff.arrived;
-      continue;
-    }
-    const HostPosture& from = a[match_of[bi]];
-    const HostPosture& to = b[bi];
-    if (cert_matched[bi]) {
-      ++diff.matched_by_certificate;
-    } else {
-      ++diff.matched_by_address;
-    }
-    ++diff.mode_transitions.counts[from.mode_bucket][to.mode_bucket];
-    ++diff.policy_transitions.counts[from.policy_bucket][to.policy_bucket];
-
-    if (from.supports_deprecated && to.supports_deprecated) ++diff.deprecated_retained;
-    if (from.supports_deprecated && !to.supports_deprecated) ++diff.deprecated_dropped;
-    if (!from.supports_deprecated && to.supports_deprecated) ++diff.deprecated_adopted;
-    if (from.anonymous && to.anonymous) ++diff.anonymous_retained;
-    if (from.anonymous && !to.anonymous) ++diff.anonymous_dropped;
-    if (!from.anonymous && to.anonymous) ++diff.anonymous_adopted;
-
-    if (from.fps.empty() && to.fps.empty()) {
-      ++diff.certs_absent;
-    } else if (from.fps == to.fps) {
-      ++diff.certs_verbatim;
-    } else if (from.fps.empty()) {
-      ++diff.certs_gained;
-    } else if (to.fps.empty()) {
-      ++diff.certs_lost;
-    } else {
-      bool overlap = false;
-      for (const std::uint64_t fp : to.fps) {
-        overlap |= std::binary_search(from.fps.begin(), from.fps.end(), fp);
-      }
-      if (overlap) {
-        ++diff.certs_rotated;
-      } else {
-        ++diff.certs_renewed;
-      }
-    }
-
-    if (from.deficient && to.deficient) ++diff.still_deficient;
-    if (from.deficient && !to.deficient) ++diff.remediated;
-    if (!from.deficient && to.deficient) ++diff.regressed;
-    if (!from.deficient && !to.deficient) ++diff.never_deficient;
-  }
-  for (std::uint32_t ai = 0; ai < a.size(); ++ai) diff.retired += !base_used[ai];
+  CampaignDiff diff = tally_step(a, b, match_postures(a, b));
+  diff.base_week = base_week;
+  diff.followup_week = followup_week;
   return diff;
 }
 
@@ -285,8 +84,7 @@ CampaignDiff diff_snapshots(const std::vector<ScanSnapshot>& base,
                         SnapshotVectorSource(followup, options.chunk_records), options);
 }
 
-std::string campaign_diff_json(const CampaignDiff& diff) {
-  JsonWriter json;
+void append_campaign_diff_fields(JsonWriter& json, const CampaignDiff& diff) {
   auto campaign = [&](const char* key, const SnapshotMeta& week, std::uint64_t hosts) {
     json.key(key)
         .begin_object()
@@ -310,7 +108,6 @@ std::string campaign_diff_json(const CampaignDiff& diff) {
         .field("downgraded", m.downgraded())
         .end_object();
   };
-  json.begin_object();
   campaign("base", diff.base_week, diff.base_hosts);
   campaign("followup", diff.followup_week, diff.followup_hosts);
   json.key("population")
@@ -319,6 +116,22 @@ std::string campaign_diff_json(const CampaignDiff& diff) {
       .field("matched_by_certificate", diff.matched_by_certificate)
       .field("retired", diff.retired)
       .field("arrived", diff.arrived)
+      .end_object();
+  // Matcher evidence grading: link counts per evidence class, the fixed
+  // per-link confidence each class carries, and the confidence-weighted
+  // mean — the audit trail for re-identification quality.
+  json.key("match_evidence")
+      .begin_object()
+      .field("address", diff.matched_by_address)
+      .field("certificate_corroborated", diff.cert_matches_corroborated)
+      .field("certificate_bare", diff.cert_matches_bare)
+      .key("link_confidence")
+      .begin_object()
+      .field("address", match_confidence(MatchEvidence::address))
+      .field("certificate_corroborated", match_confidence(MatchEvidence::cert_corroborated))
+      .field("certificate_bare", match_confidence(MatchEvidence::cert_bare))
+      .end_object()
+      .field("mean_confidence", diff.mean_match_confidence())
       .end_object();
   matrix("mode_transitions", diff.mode_transitions, kModeBuckets);
   matrix("policy_transitions", diff.policy_transitions, kPolicyBuckets);
@@ -350,6 +163,12 @@ std::string campaign_diff_json(const CampaignDiff& diff) {
       .field("regressed", diff.regressed)
       .field("never_deficient", diff.never_deficient)
       .end_object();
+}
+
+std::string campaign_diff_json(const CampaignDiff& diff) {
+  JsonWriter json;
+  json.begin_object();
+  append_campaign_diff_fields(json, diff);
   json.end_object();
   return json.str();
 }

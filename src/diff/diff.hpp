@@ -28,6 +28,12 @@
 // fingerprints are truncated to 64 bits, never DER), not by the records:
 // two 1M-host campaigns diff comfortably where the load-all path holds
 // ~2 GB of decoded records (bench/campaign_diff.cpp pins both).
+//
+// Since the series layer landed, the pairwise diff is the N=2
+// specialization of src/series/: collect_postures / match_postures /
+// tally_step (src/series/matcher.hpp) are the shared core, and
+// analyze_series over a two-member CampaignSet reproduces every
+// CampaignDiff count field for field (tests/test_series.cpp pins it).
 #pragma once
 
 #include "analysis/analysis.hpp"
@@ -76,6 +82,19 @@ struct CampaignDiff {
   std::uint64_t matched_by_certificate = 0;  // churned IP, re-identified by cert
   std::uint64_t retired = 0;                 // present in base only
   std::uint64_t arrived = 0;                 // present in follow-up only
+
+  // Matcher evidence grading: how the certificate matches were made.
+  // matched_by_certificate = corroborated + bare; corroborated links carry
+  // a second agreeing signal (same non-zero AS, or same application URI)
+  // next to the unique fingerprint, bare links only the fingerprint.
+  std::uint64_t cert_matches_corroborated = 0;
+  std::uint64_t cert_matches_bare = 0;
+
+  /// Confidence-weighted average over every accepted link (address 1.0,
+  /// corroborated certificate 0.9, bare certificate 0.6) — the scalar
+  /// re-identification quality grade the reports surface. 0 when nothing
+  /// matched.
+  double mean_match_confidence() const;
 
   // Posture transitions over matched hosts. Mode buckets: strongest
   // advertised None / Sign / SignAndEncrypt; policy buckets: strongest
@@ -133,5 +152,11 @@ CampaignDiff diff_snapshots(const std::vector<ScanSnapshot>& base,
 /// The machine-readable report (report/json.hpp formatting) —
 /// examples/diff_report.cpp writes this next to its tables.
 std::string campaign_diff_json(const CampaignDiff& diff);
+
+/// Appends the diff's fields into an already-open JSON object — the
+/// building block campaign_diff_json wraps, and what the series report
+/// reuses to render each adjacent step.
+class JsonWriter;
+void append_campaign_diff_fields(JsonWriter& json, const CampaignDiff& diff);
 
 }  // namespace opcua_study

@@ -565,4 +565,32 @@ void save_snapshots_v4(const std::string& path, std::uint64_t seed,
   out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
 }
 
+bool campaign_declared(const SnapshotMeta& meta) {
+  return !meta.campaign_label.empty() || meta.campaign_epoch_days != 0;
+}
+
+void validate_campaign_chain(const std::vector<SnapshotMeta>& members) {
+  const SnapshotMeta* prev = nullptr;        // last declared member
+  const SnapshotMeta* prev_epoch = nullptr;  // last declared member with a non-zero epoch
+  for (const SnapshotMeta& member : members) {
+    if (!campaign_declared(member)) continue;  // legacy input: nothing to anchor
+    if (prev != nullptr && prev->campaign_label == member.campaign_label &&
+        prev->campaign_epoch_days == member.campaign_epoch_days) {
+      throw SnapshotError("campaign chain: consecutive members declare the same campaign '" +
+                          member.campaign_label + "'");
+    }
+    // Epochs compare against the last member that *declared* one, so a
+    // label-only member in between cannot hide a time-reversed series.
+    if (prev_epoch != nullptr && member.campaign_epoch_days != 0 &&
+        member.campaign_epoch_days <= prev_epoch->campaign_epoch_days) {
+      throw SnapshotError("campaign chain: campaign '" + member.campaign_label + "' (epoch " +
+                          std::to_string(member.campaign_epoch_days) +
+                          ") is not after its predecessor '" + prev_epoch->campaign_label +
+                          "' (epoch " + std::to_string(prev_epoch->campaign_epoch_days) + ")");
+    }
+    prev = &member;
+    if (member.campaign_epoch_days != 0) prev_epoch = &member;
+  }
+}
+
 }  // namespace opcua_study

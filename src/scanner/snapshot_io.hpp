@@ -184,4 +184,20 @@ std::optional<std::vector<ScanSnapshot>> load_snapshots(const std::string& path,
 void save_snapshots_v4(const std::string& path, std::uint64_t seed,
                        const std::vector<ScanSnapshot>& snapshots);
 
+/// True when the measurement declares a campaign identity (label or epoch
+/// set); v4 files and unlabeled v5 files don't, and are exempt from chain
+/// validation.
+bool campaign_declared(const SnapshotMeta& meta);
+
+/// Validates that `members` (the final measurement of each campaign in an
+/// ordered series) form a chain: declared epochs must strictly increase
+/// (each non-zero epoch compares against the last non-zero one, even
+/// across label-only members in between), and no two consecutive declared
+/// members may carry the same (label, epoch) identity. Undeclared members
+/// are skipped — a legacy file can sit anywhere in the series without
+/// anchoring the chain. Throws SnapshotError naming the offending link.
+/// The old pairwise DiffOptions::validate_pairing check is this helper
+/// applied to a two-member series.
+void validate_campaign_chain(const std::vector<SnapshotMeta>& members);
+
 }  // namespace opcua_study

@@ -1,0 +1,294 @@
+// CampaignSet plumbing and the N-way series analysis.
+//
+// analyze_series holds at most two posture vectors (the adjacent pair
+// being matched) plus one TimelineState per live host. Timelines advance
+// sequentially over record-ordered posture vectors, so every derived
+// statistic inherits the matcher's determinism: identical for any thread
+// count, and for streamed vs. in-memory members carrying the same
+// records.
+#include "series/series.hpp"
+
+#include "report/json.hpp"
+#include "series/matcher.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opcua_study {
+
+// ------------------------------------------------------------ CampaignSet
+
+void CampaignSet::add_file(std::string path, std::uint64_t seed) {
+  CampaignMember member;
+  member.path = std::move(path);
+  member.seed = seed;
+  members_.push_back(std::move(member));
+}
+
+void CampaignSet::add_snapshots(std::vector<ScanSnapshot> snapshots, std::string label,
+                                std::int64_t epoch_days) {
+  add_snapshots(std::make_shared<const std::vector<ScanSnapshot>>(std::move(snapshots)),
+                std::move(label), epoch_days);
+}
+
+void CampaignSet::add_snapshots(std::shared_ptr<const std::vector<ScanSnapshot>> snapshots,
+                                std::string label, std::int64_t epoch_days) {
+  CampaignMember member;
+  member.snapshots = std::move(snapshots);
+  member.label = std::move(label);
+  member.epoch_days = epoch_days;
+  members_.push_back(std::move(member));
+}
+
+CampaignSet::OpenMember CampaignSet::open(std::size_t index,
+                                          std::uint32_t chunk_records) const {
+  const CampaignMember& member = members_.at(index);
+  OpenMember open;
+  if (member.file_backed()) {
+    open.reader_ = std::make_unique<SnapshotReader>(member.path, member.seed);
+    open.source_ = std::make_unique<ReaderRecordSource>(*open.reader_);
+  } else {
+    open.pin_ = member.snapshots;
+    open.source_ = std::make_unique<SnapshotVectorSource>(*member.snapshots, chunk_records);
+  }
+  if (open.source_->week_count() == 0) {
+    throw SnapshotError("campaign series: member " + std::to_string(index) +
+                        " holds no measurement");
+  }
+  open.final_meta_ = open.source_->week_meta(open.source_->week_count() - 1);
+  if (!campaign_declared(open.final_meta_)) {
+    open.final_meta_.campaign_label = member.label;
+    open.final_meta_.campaign_epoch_days = member.epoch_days;
+  }
+  return open;
+}
+
+std::vector<SnapshotMeta> CampaignSet::final_metas(std::uint32_t chunk_records) const {
+  std::vector<SnapshotMeta> metas;
+  metas.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    metas.push_back(open(i, chunk_records).final_meta());
+  }
+  return metas;
+}
+
+void CampaignSet::validate(std::uint32_t chunk_records) const {
+  validate_campaign_chain(final_metas(chunk_records));
+}
+
+// --------------------------------------------------------- analyze_series
+
+namespace {
+
+/// Per-timeline state while the pass advances; closed into the histogram
+/// totals when the host fails to match into the next member (or at the
+/// end of the series).
+struct TimelineState {
+  std::uint32_t first_member = 0;
+  std::uint32_t length = 0;
+  bool started_insecure = false;  // policy bucket below secure at first obs
+  std::int32_t secure_after = -1;  // steps from first obs to first secure obs
+  bool relapsed = false;
+};
+
+struct TimelineCloser {
+  SeriesAnalysis& out;
+  std::size_t member_count;
+
+  void close(const TimelineState& state) {
+    out.timelines.length_histogram[state.length] += 1;
+    if (state.first_member == 0 && state.length == member_count) ++out.timelines.full_span;
+    if (state.started_insecure) {
+      ++out.remediation.insecure_at_start;
+      if (state.secure_after > 0) {
+        out.remediation.steps_to_secure[static_cast<std::size_t>(state.secure_after)] += 1;
+        ++out.remediation.remediated;
+      } else {
+        ++out.remediation.never_remediated;
+      }
+      if (state.relapsed) ++out.remediation.relapsed;
+    }
+  }
+};
+
+std::uint64_t count_deficient(const std::vector<HostPosture>& postures) {
+  std::uint64_t deficient = 0;
+  for (const HostPosture& p : postures) deficient += p.deficient;
+  return deficient;
+}
+
+}  // namespace
+
+double SeriesAnalysis::mean_link_confidence() const {
+  return mean_match_confidence(links_by_address, links_by_cert_corroborated, links_by_cert_bare);
+}
+
+SeriesAnalysis analyze_series(const CampaignSet& set, const SeriesOptions& options) {
+  if (set.size() < 2) {
+    throw SnapshotError("campaign series needs >= 2 members (got " +
+                        std::to_string(set.size()) + ")");
+  }
+  const std::size_t n = set.size();
+  SeriesAnalysis out;
+  out.timelines.length_histogram.assign(n + 1, 0);
+  out.remediation.steps_to_secure.assign(n, 0);
+  ThreadPool pool(options.threads);
+  TimelineCloser closer{out, n};
+
+  // Each member is opened exactly once, when the walk reaches it; its
+  // identity is validated against the chain seen so far before any of
+  // its postures are collected, so an out-of-order member fails before
+  // its posture work (and a truncated file fails at its open).
+  std::vector<SnapshotMeta> finals;
+  finals.reserve(n);
+
+  // Member 0: postures + one fresh timeline per host.
+  std::vector<HostPosture> current;
+  {
+    const CampaignSet::OpenMember member = set.open(0, options.chunk_records);
+    finals.push_back(member.final_meta());
+    current = collect_postures(member.source(), pool);
+  }
+  std::vector<TimelineState> active(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    active[i] = {0, 1, current[i].policy_bucket < 2, current[i].policy_bucket == 2 ? 0 : -1,
+                 false};
+  }
+  out.timelines.total = current.size();
+  {
+    SeriesMemberStats stats;
+    stats.meta = finals[0];
+    stats.hosts = current.size();
+    stats.deficient = count_deficient(current);
+    stats.arrived = current.size();
+    out.members.push_back(std::move(stats));
+  }
+
+  // Adjacent pairs: match, tally the step diff, advance the timelines.
+  for (std::size_t m = 1; m < n; ++m) {
+    std::vector<HostPosture> next;
+    {
+      const CampaignSet::OpenMember member = set.open(m, options.chunk_records);
+      finals.push_back(member.final_meta());
+      if (options.validate_ordering) validate_campaign_chain(finals);
+      next = collect_postures(member.source(), pool);
+    }
+    const MatchResult match = match_postures(current, next);
+    CampaignDiff step = tally_step(current, next, match);
+    step.base_week = finals[m - 1];
+    step.followup_week = finals[m];
+    out.links_by_address += step.matched_by_address;
+    out.links_by_cert_corroborated += step.cert_matches_corroborated;
+    out.links_by_cert_bare += step.cert_matches_bare;
+
+    SeriesMemberStats stats;
+    stats.meta = finals[m];
+    stats.hosts = next.size();
+    stats.deficient = count_deficient(next);
+    stats.matched_from_previous = step.matched();
+    stats.arrived = step.arrived;
+    out.members[m - 1].retired_into_next = step.retired;
+    out.members.push_back(std::move(stats));
+    out.steps.push_back(std::move(step));
+
+    std::vector<TimelineState> next_active(next.size());
+    for (std::uint32_t bi = 0; bi < next.size(); ++bi) {
+      const std::uint32_t ai = match.base_of[bi];
+      if (ai == MatchResult::kUnmatched) {
+        // Fresh arrival: a new timeline starts here.
+        next_active[bi] = {static_cast<std::uint32_t>(m), 1, next[bi].policy_bucket < 2,
+                           next[bi].policy_bucket == 2 ? 0 : -1, false};
+        ++out.timelines.total;
+        continue;
+      }
+      TimelineState state = active[ai];
+      ++state.length;
+      if (next[bi].policy_bucket == 2) {
+        if (state.secure_after < 0) state.secure_after = static_cast<std::int32_t>(state.length - 1);
+      } else if (state.secure_after >= 0) {
+        state.relapsed = true;  // had reached secure, dropped below again
+      }
+      next_active[bi] = state;
+    }
+    // Timelines without a successor close now (their host retired).
+    for (std::uint32_t ai = 0; ai < current.size(); ++ai) {
+      if (!match.base_matched[ai]) closer.close(active[ai]);
+    }
+    current = std::move(next);
+    active = std::move(next_active);
+  }
+  // The series ends: every still-live timeline closes.
+  for (const TimelineState& state : active) closer.close(state);
+  return out;
+}
+
+// ----------------------------------------------------------------- report
+
+std::string series_analysis_json(const SeriesAnalysis& analysis) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("members").begin_array();
+  for (const SeriesMemberStats& member : analysis.members) {
+    json.begin_object()
+        .field("label", member.meta.campaign_label)
+        .field("epoch_days", static_cast<std::uint64_t>(member.meta.campaign_epoch_days))
+        .field("date_days", static_cast<std::uint64_t>(member.meta.date_days))
+        .field("hosts", member.hosts)
+        .field("deficient", member.deficient)
+        .field("matched_from_previous", member.matched_from_previous)
+        .field("arrived", member.arrived)
+        .field("retired_into_next", member.retired_into_next)
+        .end_object();
+  }
+  json.end_array();
+  json.key("steps").begin_array();
+  for (const CampaignDiff& step : analysis.steps) {
+    json.begin_object();
+    append_campaign_diff_fields(json, step);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("timelines")
+      .begin_object()
+      .field("total", analysis.timelines.total)
+      .field("full_span", analysis.timelines.full_span)
+      .key("length_histogram")
+      .begin_array();
+  for (std::size_t len = 1; len < analysis.timelines.length_histogram.size(); ++len) {
+    json.begin_object()
+        .field("members", static_cast<std::uint64_t>(len))
+        .field("timelines", analysis.timelines.length_histogram[len])
+        .end_object();
+  }
+  json.end_array().end_object();
+  json.key("remediation")
+      .begin_object()
+      .field("insecure_at_start", analysis.remediation.insecure_at_start)
+      .field("remediated", analysis.remediation.remediated)
+      .field("never_remediated", analysis.remediation.never_remediated)
+      .field("relapsed", analysis.remediation.relapsed)
+      .key("steps_to_secure")
+      .begin_array();
+  for (std::size_t k = 1; k < analysis.remediation.steps_to_secure.size(); ++k) {
+    json.begin_object()
+        .field("campaigns", static_cast<std::uint64_t>(k))
+        .field("timelines", analysis.remediation.steps_to_secure[k])
+        .end_object();
+  }
+  json.end_array().end_object();
+  json.key("match_evidence")
+      .begin_object()
+      .field("address", analysis.links_by_address)
+      .field("certificate_corroborated", analysis.links_by_cert_corroborated)
+      .field("certificate_bare", analysis.links_by_cert_bare)
+      .key("link_confidence")
+      .begin_object()
+      .field("address", match_confidence(MatchEvidence::address))
+      .field("certificate_corroborated", match_confidence(MatchEvidence::cert_corroborated))
+      .field("certificate_bare", match_confidence(MatchEvidence::cert_bare))
+      .end_object()
+      .field("mean_confidence", analysis.mean_link_confidence())
+      .end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace opcua_study

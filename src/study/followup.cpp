@@ -1,20 +1,33 @@
 #include "study/followup.hpp"
 
+#include "util/rng.hpp"
+
 namespace opcua_study {
 
 namespace {
 
 constexpr std::int64_t kTwoYearsDays = 730;
 
-ScanSnapshot followup_shell(const FollowupConfig& config, const SnapshotMeta& base_final) {
-  ScanSnapshot snapshot;
-  snapshot.measurement_index = 0;
-  snapshot.date_days = followup_epoch_days(config, base_final.date_days);
-  // The follow-up scan sweeps the same Internet: probe effort carries
-  // over; only the population in the records changes.
-  snapshot.probes_sent = base_final.probes_sent;
-  snapshot.tcp_open_count = base_final.tcp_open_count;
-  return snapshot;
+/// The per-step model configuration extend_series derives: seed, label,
+/// and epoch are pure functions of (config, ordinal), so iterating K
+/// times yields decorrelated transitions and a valid campaign chain (see
+/// followup.hpp). An explicit config.epoch_days anchors the *first*
+/// extension and advances two years per further step — without the
+/// advance every generated member would share one epoch and the chain
+/// validation would rightly reject the series.
+FollowupConfig series_step_config(const FollowupConfig& config, std::size_t ordinal) {
+  FollowupConfig step = config;
+  step.seed = hash64("series-step:" + std::to_string(config.seed) + ":" +
+                     std::to_string(ordinal));
+  if (step.campaign_label.empty()) {
+    step.campaign_label = "followup-" + std::to_string(ordinal);
+  } else if (ordinal > 1) {
+    step.campaign_label += "-" + std::to_string(ordinal);
+  }
+  if (step.epoch_days != 0) {
+    step.epoch_days += static_cast<std::int64_t>(ordinal - 1) * kTwoYearsDays;
+  }
+  return step;
 }
 
 }  // namespace
@@ -23,26 +36,50 @@ std::int64_t followup_epoch_days(const FollowupConfig& config, std::int64_t base
   return config.epoch_days != 0 ? config.epoch_days : base_final_days + kTwoYearsDays;
 }
 
+SnapshotMeta followup_shell(const FollowupConfig& config, const SnapshotMeta& base_final) {
+  SnapshotMeta shell;
+  shell.measurement_index = 0;
+  shell.date_days = followup_epoch_days(config, base_final.date_days);
+  // The follow-up scan sweeps the same Internet: probe effort carries
+  // over; only the population in the records changes.
+  shell.probes_sent = base_final.probes_sent;
+  shell.tcp_open_count = base_final.tcp_open_count;
+  shell.campaign_label = config.campaign_label;
+  shell.campaign_epoch_days = shell.date_days;
+  return shell;
+}
+
+void evolve_final_measurement(const RecordSource& base, const FollowupConfig& config,
+                              const std::function<void(HostScanRecord&&)>& emit) {
+  if (base.week_count() == 0) {
+    throw SnapshotError("follow-up study needs a base campaign with >= 1 measurement");
+  }
+  const FollowupModel model(config);
+  const std::size_t final_week = base.week_count() - 1;
+  for (std::size_t c = 0; c < base.chunk_count(); ++c) {
+    if (base.chunk_week(c) != final_week) continue;
+    base.visit_chunk(c, [&](const HostScanRecord& host) {
+      if (auto evolved = model.evolve(host)) emit(std::move(*evolved));
+    });
+  }
+  model.visit_new_deployments(base.week_meta(final_week).host_count, emit);
+}
+
 std::vector<ScanSnapshot> run_followup_study(const std::vector<ScanSnapshot>& base,
                                              const FollowupConfig& config) {
   if (base.empty()) {
     throw SnapshotError("follow-up study needs a base campaign with >= 1 measurement");
   }
-  const FollowupModel model(config);
-  const ScanSnapshot& final_week = base.back();
-
-  SnapshotMeta base_meta;
-  base_meta.date_days = final_week.date_days;
-  base_meta.probes_sent = final_week.probes_sent;
-  base_meta.tcp_open_count = final_week.tcp_open_count;
-  ScanSnapshot snapshot = followup_shell(config, base_meta);
-  snapshot.hosts.reserve(final_week.hosts.size());
-  for (const auto& host : final_week.hosts) {
-    if (auto evolved = model.evolve(host)) snapshot.hosts.push_back(std::move(*evolved));
-  }
-  model.visit_new_deployments(final_week.hosts.size(), [&](HostScanRecord&& host) {
-    snapshot.hosts.push_back(std::move(host));
-  });
+  const SnapshotVectorSource source(base, SnapshotWriter::kDefaultChunkRecords);
+  const SnapshotMeta shell = followup_shell(config, source.week_meta(base.size() - 1));
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = shell.measurement_index;
+  snapshot.date_days = shell.date_days;
+  snapshot.probes_sent = shell.probes_sent;
+  snapshot.tcp_open_count = shell.tcp_open_count;
+  snapshot.hosts.reserve(base.back().hosts.size());
+  evolve_final_measurement(source, config,
+                           [&](HostScanRecord&& host) { snapshot.hosts.push_back(std::move(host)); });
   return {std::move(snapshot)};
 }
 
@@ -51,23 +88,62 @@ void run_followup_study_streamed(const SnapshotReader& reader, const FollowupCon
   if (reader.snapshots().empty()) {
     throw SnapshotError("follow-up study needs a base campaign with >= 1 measurement");
   }
-  const FollowupModel model(config);
-  const std::size_t final_week = reader.snapshots().size() - 1;
-  const SnapshotMeta& base_meta = reader.snapshots()[final_week];
-  const ScanSnapshot shell = followup_shell(config, base_meta);
-
+  const ReaderRecordSource source(reader);
+  const SnapshotMeta shell = followup_shell(config, reader.snapshots().back());
   writer.set_campaign(config.campaign_label, shell.date_days);
   writer.begin_snapshot(shell.measurement_index, shell.date_days);
-  for (std::size_t c = 0; c < reader.chunks().size(); ++c) {
-    if (reader.chunks()[c].snapshot_ordinal != final_week) continue;
-    for (const HostScanRecord& host : reader.read_chunk(c)) {
-      if (auto evolved = model.evolve(host)) writer.add_host(*evolved);
-    }
-  }
-  model.visit_new_deployments(base_meta.host_count,
-                              [&](HostScanRecord&& host) { writer.add_host(host); });
+  evolve_final_measurement(source, config,
+                           [&](HostScanRecord&& host) { writer.add_host(host); });
   writer.end_snapshot(shell.probes_sent, shell.tcp_open_count);
   writer.finish();
+}
+
+SnapshotMeta extend_series(CampaignSet& set, const FollowupConfig& config) {
+  if (set.empty()) {
+    throw SnapshotError("extend_series needs a series with >= 1 member");
+  }
+  const CampaignSet::OpenMember last = set.open(set.size() - 1);
+  const FollowupConfig step = series_step_config(config, set.size());
+  SnapshotMeta shell = followup_shell(step, last.final_meta());
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = shell.measurement_index;
+  snapshot.date_days = shell.date_days;
+  snapshot.probes_sent = shell.probes_sent;
+  snapshot.tcp_open_count = shell.tcp_open_count;
+  snapshot.hosts.reserve(last.final_meta().host_count);
+  evolve_final_measurement(last.source(), step,
+                           [&](HostScanRecord&& host) { snapshot.hosts.push_back(std::move(host)); });
+  shell.host_count = snapshot.hosts.size();
+  std::vector<ScanSnapshot> member;
+  member.push_back(std::move(snapshot));
+  set.add_snapshots(std::move(member), shell.campaign_label, shell.campaign_epoch_days);
+  return shell;
+}
+
+SnapshotMeta extend_series(CampaignSet& set, const FollowupConfig& config,
+                           const std::string& path, std::uint64_t file_seed) {
+  if (set.empty()) {
+    throw SnapshotError("extend_series needs a series with >= 1 member");
+  }
+  std::uint64_t hosts = 0;
+  SnapshotMeta shell;
+  {
+    const CampaignSet::OpenMember last = set.open(set.size() - 1);
+    const FollowupConfig step = series_step_config(config, set.size());
+    shell = followup_shell(step, last.final_meta());
+    SnapshotWriter writer(path, file_seed);
+    writer.set_campaign(shell.campaign_label, shell.campaign_epoch_days);
+    writer.begin_snapshot(shell.measurement_index, shell.date_days);
+    evolve_final_measurement(last.source(), step, [&](HostScanRecord&& host) {
+      writer.add_host(host);
+      ++hosts;
+    });
+    writer.end_snapshot(shell.probes_sent, shell.tcp_open_count);
+    writer.finish();
+  }
+  shell.host_count = hosts;
+  set.add_file(path, file_seed);
+  return shell;
 }
 
 }  // namespace opcua_study

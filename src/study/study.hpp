@@ -40,6 +40,11 @@ std::vector<ScanSnapshot> run_full_study(const StudyConfig& config);
 /// Same campaign, but each weekly measurement is appended to `writer`
 /// (chunked v5 snapshot stream) and dropped — the in-memory high-water
 /// mark is one measurement, not eight. finish() is called on completion.
+///
+/// In series terms (src/series/): this produces *member 0* of a campaign
+/// series. Add the recorded file to a CampaignSet and grow the rest of
+/// the series with extend_series (study/followup.hpp), then feed the set
+/// to analyze_series.
 void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer);
 
 }  // namespace opcua_study

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,46 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   body();  // the caller is worker zero
   for (auto& thread : pool) thread.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_merged(std::size_t n, const std::function<void(std::size_t)>& fn,
+                                     const std::function<void(std::size_t)>& merge) const {
+  if (n == 0) return;
+  if (size_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+      merge(i);
+    }
+    return;
+  }
+
+  // Whichever worker completes an index takes the merge lock and drains
+  // the contiguous completed prefix. Merges are serialized and strictly
+  // ascending, so the merged state evolves exactly as in a sequential
+  // pass; the last index to complete drains whatever remains, so by the
+  // time parallel_for returns every index has been merged. next_merge
+  // advances *before* the call and a throwing merge poisons the drain, so
+  // even on failure no index is merged twice — parallel_for rethrows and
+  // the partial merge is abandoned with the rest of the computation.
+  std::vector<char> done(n, 0);
+  std::size_t next_merge = 0;
+  bool merge_failed = false;
+  std::mutex merge_mutex;
+  parallel_for(n, [&](std::size_t i) {
+    fn(i);
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    done[i] = 1;
+    if (merge_failed) return;
+    while (next_merge < n && done[next_merge]) {
+      const std::size_t index = next_merge++;
+      try {
+        merge(index);
+      } catch (...) {
+        merge_failed = true;
+        throw;
+      }
+    }
+  });
 }
 
 }  // namespace opcua_study

@@ -32,6 +32,20 @@ class ThreadPool {
   /// rethrown on the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
+  /// parallel_for with an ordered early drain: fn(i) runs in parallel as
+  /// above, and merge(i) is called exactly once per index — serialized,
+  /// in strictly ascending order, as soon as the contiguous prefix of
+  /// completed indices reaches i. The merge order is therefore identical
+  /// to a sequential pass for any thread count, while a merged index's
+  /// working state can be released long before the last index finishes
+  /// (the streaming aggregator's peak-memory lever: chunk partials die as
+  /// the completed prefix advances instead of all coexisting until the
+  /// end). When every iteration completes, every index has been merged;
+  /// if fn or merge throws, the drain stops (no index merges twice) and
+  /// the first exception is rethrown on the caller.
+  void parallel_for_merged(std::size_t n, const std::function<void(std::size_t)>& fn,
+                           const std::function<void(std::size_t)>& merge) const;
+
  private:
   int size_;
 };

@@ -1,0 +1,482 @@
+// The campaign-series API:
+//  - hand-crafted N=3 identity chains: stable hosts, a churned-IP host
+//    re-identified by certificate across all three campaigns (with
+//    evidence grading), an ambiguous fleet certificate that must *not*
+//    chain, remediation / relapse timelines,
+//  - a two-member series reproduces the pairwise CampaignDiff field for
+//    field (the N=2 specialization contract),
+//  - extend_series grows deterministic file-backed and in-memory series
+//    that analyze byte-identically, for any thread count,
+//  - campaign-chain validation and SnapshotError on short sets, empty
+//    members, and a truncated middle member,
+//  - the early-prefix-merge aggregation stays thread-count-invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/analysis.hpp"
+#include "diff/diff.hpp"
+#include "series/matcher.hpp"
+#include "series/series.hpp"
+#include "study/followup.hpp"
+#include "util/date.hpp"
+#include "util/thread_pool.hpp"
+
+namespace opcua_study {
+namespace {
+
+Bytes read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void write_file_bytes(const std::string& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Per-index unique certificates from a small key pool: the certificate
+/// matcher needs fingerprints that identify hosts.
+const std::vector<Bytes>& unique_certs() {
+  static const std::vector<Bytes> certs = [] {
+    KeyFactory keys(773, "");
+    std::vector<Bytes> ders;
+    for (int i = 0; i < 40; ++i) {
+      const RsaKeyPair kp = keys.get("series-test-" + std::to_string(i % 4), 512);
+      CertificateSpec spec;
+      spec.subject = {"series device " + std::to_string(i), "Series Test Org", "DE"};
+      spec.signature_hash = HashAlgorithm::sha256;
+      spec.serial = Bignum{static_cast<std::uint64_t>(7000 + i)};
+      spec.not_before_days = days_from_civil({2019, 1, 1});
+      spec.not_after_days = spec.not_before_days + 3650;
+      spec.application_uri = "urn:seriestest:device:" + std::to_string(i);
+      ders.push_back(x509_create(spec, kp.pub, kp.priv));
+    }
+    return ders;
+  }();
+  return certs;
+}
+
+struct HostSpec {
+  Ipv4 ip = 0;
+  SecurityPolicy policy = SecurityPolicy::None;
+  int cert = -1;                // index into unique_certs(), -1 = none
+  std::string uri;              // application URI (corroboration signal)
+  std::uint32_t asn = 0;        // corroboration signal
+};
+
+HostScanRecord make_host(const HostSpec& spec) {
+  HostScanRecord host;
+  host.ip = spec.ip;
+  host.port = kOpcUaDefaultPort;
+  host.asn = spec.asn;
+  host.speaks_opcua = true;
+  host.application_uri = spec.uri;
+  EndpointObservation ep;
+  ep.url = "opc.tcp://x:4840/";
+  ep.mode = spec.policy == SecurityPolicy::None ? MessageSecurityMode::None
+                                                : MessageSecurityMode::SignAndEncrypt;
+  ep.policy_uri = std::string(policy_info(spec.policy).uri);
+  ep.policy = spec.policy;
+  ep.policy_known = true;
+  ep.token_types = {UserTokenType::UserName};
+  if (spec.cert >= 0) ep.certificate_der = unique_certs()[static_cast<std::size_t>(spec.cert)];
+  host.endpoints.push_back(std::move(ep));
+  return host;
+}
+
+ScanSnapshot make_measurement(std::int64_t date_days, const std::vector<HostSpec>& specs) {
+  ScanSnapshot snapshot;
+  snapshot.measurement_index = 0;
+  snapshot.date_days = date_days;
+  snapshot.probes_sent = 1000;
+  snapshot.tcp_open_count = 100;
+  for (const auto& spec : specs) snapshot.hosts.push_back(make_host(spec));
+  return snapshot;
+}
+
+FollowupConfig small_followup_config() {
+  FollowupConfig config;
+  config.mint_keys = 4;
+  config.mint_fleet = 32;
+  config.mint_key_bits = 512;
+  config.key_cache_path = "";
+  return config;
+}
+
+/// A deterministic synthetic base campaign (same archetypes the diff
+/// tests use).
+std::vector<ScanSnapshot> make_base_study(std::size_t hosts, int weeks = 1) {
+  std::vector<ScanSnapshot> snapshots;
+  for (int week = 0; week < weeks; ++week) {
+    ScanSnapshot snapshot;
+    snapshot.measurement_index = week;
+    snapshot.date_days = days_from_civil({2020, 2, 9}) + 28 * week;
+    snapshot.probes_sent = 5000;
+    snapshot.tcp_open_count = 500;
+    for (std::size_t i = 0; i < hosts; ++i) {
+      HostSpec spec;
+      spec.ip = static_cast<Ipv4>(0x16000000u + static_cast<std::uint32_t>(i));
+      spec.policy = i % 4 == 0   ? SecurityPolicy::None
+                    : i % 4 == 1 ? SecurityPolicy::Basic256
+                                 : SecurityPolicy::Basic256Sha256;
+      spec.cert = i % 5 == 0 ? -1 : static_cast<int>(i % unique_certs().size());
+      spec.uri = "urn:generic:seriestest-" + std::to_string(i);
+      spec.asn = 64500 + static_cast<std::uint32_t>(i % 5);
+      snapshot.hosts.push_back(make_host(spec));
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+// ------------------------------------------------- hand-crafted chains ----
+
+TEST(SeriesChain, HandCraftedThreeMemberTimelines) {
+  constexpr SecurityPolicy kNone = SecurityPolicy::None;
+  constexpr SecurityPolicy kDepr = SecurityPolicy::Basic256;        // deprecated
+  constexpr SecurityPolicy kSecure = SecurityPolicy::Basic256Sha256;
+  const std::string uri_b = "urn:series:host-b";
+
+  // Member 0: A stable None; B churner with corroborating URI; C1/C2
+  // sharing one fleet certificate (ambiguous); D future relapser; E
+  // retiree; G bare-evidence churner (no URI, no AS).
+  const ScanSnapshot m0 = make_measurement(100, {
+      {10, kNone, -1, "", 0},         // A
+      {11, kDepr, 0, uri_b, 0},       // B
+      {12, kDepr, 3, "", 0},          // C1
+      {13, kDepr, 3, "", 0},          // C2
+      {14, kNone, -1, "", 0},         // D
+      {15, kNone, -1, "", 0},         // E (retires)
+      {17, kDepr, 5, "", 0},          // G
+  });
+  // Member 1: B churned (cert 0 re-identifies, URI corroborates); C1/C2
+  // churned with the shared cert (must NOT chain -> retire + arrive); D
+  // upgraded to secure; F arrives; G still at its address.
+  const ScanSnapshot m1 = make_measurement(200, {
+      {10, kNone, -1, "", 0},         // A
+      {60, kDepr, 0, uri_b, 0},       // B after churn
+      {61, kDepr, 3, "", 0},          // "C1'" — ambiguous, new identity
+      {62, kDepr, 3, "", 0},          // "C2'"
+      {14, kSecure, -1, "", 0},       // D remediated after 1 campaign
+      {16, kSecure, -1, "", 0},       // F arrival
+      {17, kDepr, 5, "", 0},          // G
+  });
+  // Member 2: A remediates; B churns again (cert + URI); D relapses; G
+  // churns with only the bare fingerprint as evidence.
+  const ScanSnapshot m2 = make_measurement(300, {
+      {10, kSecure, -1, "", 0},       // A remediated after 2 campaigns
+      {70, kDepr, 0, uri_b, 0},       // B after second churn
+      {61, kDepr, 3, "", 0},          // C1' stays
+      {62, kDepr, 3, "", 0},          // C2' stays
+      {14, kNone, -1, "", 0},         // D relapsed
+      {16, kSecure, -1, "", 0},       // F
+      {90, kDepr, 5, "", 0},          // G after churn, bare evidence
+  });
+
+  CampaignSet set;
+  set.add_snapshots({m0}, "m0", 100);
+  set.add_snapshots({m1}, "m1", 200);
+  set.add_snapshots({m2}, "m2", 300);
+  const SeriesAnalysis series = analyze_series(set, {});
+
+  ASSERT_EQ(series.members.size(), 3u);
+  ASSERT_EQ(series.steps.size(), 2u);
+
+  // Step 0: A, D, G by address; B by corroborated certificate; the
+  // ambiguous fleet certificate re-identifies nobody.
+  EXPECT_EQ(series.steps[0].matched_by_address, 3u);
+  EXPECT_EQ(series.steps[0].matched_by_certificate, 1u);
+  EXPECT_EQ(series.steps[0].cert_matches_corroborated, 1u);
+  EXPECT_EQ(series.steps[0].cert_matches_bare, 0u);
+  EXPECT_EQ(series.steps[0].retired, 3u);   // C1, C2, E
+  EXPECT_EQ(series.steps[0].arrived, 3u);   // C1', C2', F
+
+  // Step 1: A, C1', C2', D, F by address; B corroborated; G bare.
+  EXPECT_EQ(series.steps[1].matched_by_address, 5u);
+  EXPECT_EQ(series.steps[1].matched_by_certificate, 2u);
+  EXPECT_EQ(series.steps[1].cert_matches_corroborated, 1u);
+  EXPECT_EQ(series.steps[1].cert_matches_bare, 1u);
+  EXPECT_EQ(series.steps[1].retired, 0u);
+  EXPECT_EQ(series.steps[1].arrived, 0u);
+
+  // Evidence totals and the confidence grade they imply.
+  EXPECT_EQ(series.links_by_address, 8u);
+  EXPECT_EQ(series.links_by_cert_corroborated, 2u);
+  EXPECT_EQ(series.links_by_cert_bare, 1u);
+  EXPECT_NEAR(series.mean_link_confidence(), (8 * 1.0 + 2 * 0.9 + 1 * 0.6) / 11.0, 1e-12);
+  EXPECT_NEAR(series.steps[1].mean_match_confidence(), (5 * 1.0 + 0.9 + 0.6) / 7.0, 1e-12);
+
+  // Timelines: 7 starting at member 0, 3 arrivals at member 1.
+  EXPECT_EQ(series.timelines.total, 10u);
+  EXPECT_EQ(series.timelines.full_span, 4u);  // A, B, D, G
+  ASSERT_EQ(series.timelines.length_histogram.size(), 4u);
+  EXPECT_EQ(series.timelines.length_histogram[1], 3u);  // C1, C2, E
+  EXPECT_EQ(series.timelines.length_histogram[2], 3u);  // C1', C2', F
+  EXPECT_EQ(series.timelines.length_histogram[3], 4u);  // A, B, D, G
+
+  // Remediation: everything except F starts below secure; D upgrades
+  // after one campaign (then relapses), A after two.
+  EXPECT_EQ(series.remediation.insecure_at_start, 9u);
+  EXPECT_EQ(series.remediation.remediated, 2u);
+  ASSERT_EQ(series.remediation.steps_to_secure.size(), 3u);
+  EXPECT_EQ(series.remediation.steps_to_secure[1], 1u);  // D
+  EXPECT_EQ(series.remediation.steps_to_secure[2], 1u);  // A
+  EXPECT_EQ(series.remediation.never_remediated, 7u);
+  EXPECT_EQ(series.remediation.relapsed, 1u);  // D
+
+  // Fleet curve.
+  EXPECT_EQ(series.members[0].hosts, 7u);
+  EXPECT_EQ(series.members[0].arrived, 7u);
+  EXPECT_EQ(series.members[0].retired_into_next, 3u);
+  EXPECT_EQ(series.members[1].matched_from_previous, 4u);
+  EXPECT_EQ(series.members[1].arrived, 3u);
+  EXPECT_EQ(series.members[2].matched_from_previous, 7u);
+  EXPECT_EQ(series.members[2].arrived, 0u);
+  EXPECT_EQ(series.members[2].retired_into_next, 0u);
+  EXPECT_EQ(series.members[0].deficient, 7u);
+  EXPECT_EQ(series.members[1].deficient, 5u);  // D and F are clean
+  EXPECT_EQ(series.members[2].deficient, 5u);  // A and F are clean
+
+  // The annotations drive the member identity in the report.
+  EXPECT_EQ(series.members[0].meta.campaign_label, "m0");
+  EXPECT_EQ(series.members[2].meta.campaign_epoch_days, 300);
+  const std::string json = series_analysis_json(series);
+  EXPECT_NE(json.find("\"match_evidence\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps_to_secure\""), std::string::npos);
+}
+
+// ------------------------------------------------- N=2 specialization ----
+
+TEST(SeriesEquivalence, TwoMemberSeriesReproducesPairwiseDiff) {
+  const std::string base_path = "/tmp/opcua_series_pair_base.bin";
+  const std::string followup_path = "/tmp/opcua_series_pair_followup.bin";
+  {
+    SnapshotWriter writer(base_path, 42);
+    writer.set_campaign("series-base", days_from_civil({2020, 8, 30}));
+    for (const auto& snapshot : make_base_study(120, 2)) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  CampaignSet set;
+  set.add_file(base_path, 42);
+  const SnapshotMeta followup_meta =
+      extend_series(set, small_followup_config(), followup_path, 77);
+  EXPECT_GT(followup_meta.host_count, 0u);
+  EXPECT_EQ(followup_meta.campaign_label, "followup-2022");
+
+  SeriesOptions series_options;
+  series_options.threads = 4;
+  const SeriesAnalysis series = analyze_series(set, series_options);
+  DiffOptions diff_options;
+  diff_options.threads = 2;
+  const CampaignDiff diff = diff_files(base_path, 42, followup_path, 77, diff_options);
+
+  // Field for field: the series' only step IS the pairwise diff,
+  // including the campaign identity metadata and evidence grading.
+  ASSERT_EQ(series.steps.size(), 1u);
+  EXPECT_EQ(series.steps[0], diff);
+  EXPECT_GT(diff.matched(), 0u);
+  EXPECT_GT(diff.matched_by_certificate, 0u);
+  EXPECT_EQ(diff.matched_by_certificate,
+            diff.cert_matches_corroborated + diff.cert_matches_bare);
+  std::remove(base_path.c_str());
+  std::remove(followup_path.c_str());
+}
+
+// ------------------------------------- determinism across input shapes ----
+
+TEST(SeriesDeterminism, ThreadCountAndStreamedVsLoadAllAreByteIdentical) {
+  const std::string base_path = "/tmp/opcua_series_det_base.bin";
+  const std::vector<std::string> followup_paths = {
+      "/tmp/opcua_series_det_f1.bin", "/tmp/opcua_series_det_f2.bin",
+      "/tmp/opcua_series_det_f3.bin"};
+  {
+    // Small chunks -> many parallel posture work units with ragged tails.
+    SnapshotWriter writer(base_path, 42, 17);
+    writer.set_campaign("det-base", 100);
+    for (const auto& snapshot : make_base_study(90)) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  CampaignSet files;
+  files.add_file(base_path, 42);
+  for (std::size_t k = 0; k < followup_paths.size(); ++k) {
+    extend_series(files, small_followup_config(), followup_paths[k], 1000 + k);
+  }
+  ASSERT_EQ(files.size(), 4u);
+  // Distinct labels from default-config iteration, epochs +2y per step.
+  const std::vector<SnapshotMeta> metas = files.final_metas();
+  EXPECT_EQ(metas[1].campaign_label, "followup-2022");
+  EXPECT_EQ(metas[2].campaign_label, "followup-2022-2");
+  EXPECT_EQ(metas[3].campaign_label, "followup-2022-3");
+  EXPECT_NO_THROW(files.validate());
+
+  SeriesOptions serial;
+  serial.threads = 1;
+  SeriesOptions parallel;
+  parallel.threads = 8;
+  const SeriesAnalysis streamed1 = analyze_series(files, serial);
+  const SeriesAnalysis streamed8 = analyze_series(files, parallel);
+  EXPECT_EQ(streamed1, streamed8);
+  EXPECT_EQ(series_analysis_json(streamed1), series_analysis_json(streamed8));
+
+  // Load-all members (annotated with the files' identities) must analyze
+  // byte-identically, for any chunking.
+  CampaignSet memory;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const CampaignMember& member = files.member(i);
+    memory.add_snapshots(SnapshotReader(member.path, member.seed).load_all(),
+                         metas[i].campaign_label, metas[i].campaign_epoch_days);
+  }
+  SeriesOptions tiny_chunks;
+  tiny_chunks.threads = 8;
+  tiny_chunks.chunk_records = 7;
+  const SeriesAnalysis load_all = analyze_series(memory, tiny_chunks);
+  EXPECT_EQ(streamed1, load_all);
+  EXPECT_EQ(series_analysis_json(streamed1), series_analysis_json(load_all));
+
+  // The series exercises the interesting flows on this population.
+  EXPECT_GT(streamed1.links_by_address, 0u);
+  EXPECT_GT(streamed1.links_by_cert_corroborated + streamed1.links_by_cert_bare, 0u);
+  EXPECT_GT(streamed1.timelines.full_span, 0u);
+  EXPECT_GT(streamed1.remediation.insecure_at_start, 0u);
+  std::remove(base_path.c_str());
+  for (const auto& path : followup_paths) std::remove(path.c_str());
+}
+
+TEST(SeriesDeterminism, ExplicitEpochStillYieldsAValidChainWhenIterated) {
+  CampaignSet set;
+  set.add_snapshots({make_measurement(100, {{10, SecurityPolicy::None, -1, "", 0}})},
+                    "explicit-base", 100);
+  FollowupConfig config = small_followup_config();
+  config.epoch_days = 3000;  // anchors the first extension
+  const SnapshotMeta first = extend_series(set, config);
+  const SnapshotMeta second = extend_series(set, config);
+  EXPECT_EQ(first.campaign_epoch_days, 3000);
+  EXPECT_EQ(second.campaign_epoch_days, 3000 + 730);  // advanced per step
+  EXPECT_NO_THROW(set.validate());
+  EXPECT_NO_THROW(analyze_series(set, {}));
+}
+
+// ----------------------------------------------------- error surfaces ----
+
+TEST(SeriesErrors, ShortSetsEmptyMembersAndTruncationFail) {
+  CampaignSet empty_set;
+  EXPECT_THROW(analyze_series(empty_set, {}), SnapshotError);
+
+  CampaignSet one;
+  one.add_snapshots({make_measurement(100, {{10, SecurityPolicy::None, -1, "", 0}})});
+  EXPECT_THROW(analyze_series(one, {}), SnapshotError);
+  EXPECT_THROW(extend_series(empty_set, small_followup_config()), SnapshotError);
+
+  // A member with zero measurements fails at open.
+  CampaignSet with_empty;
+  with_empty.add_snapshots({make_measurement(100, {{10, SecurityPolicy::None, -1, "", 0}})});
+  with_empty.add_snapshots(std::vector<ScanSnapshot>{});
+  EXPECT_THROW(analyze_series(with_empty, {}), SnapshotError);
+}
+
+TEST(SeriesErrors, TruncatedMiddleMemberFailsWithSnapshotError) {
+  const std::string base_path = "/tmp/opcua_series_trunc_base.bin";
+  const std::string mid_path = "/tmp/opcua_series_trunc_mid.bin";
+  const std::string last_path = "/tmp/opcua_series_trunc_last.bin";
+  {
+    SnapshotWriter writer(base_path, 42);
+    writer.set_campaign("trunc-base", 100);
+    for (const auto& snapshot : make_base_study(40)) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  CampaignSet set;
+  set.add_file(base_path, 42);
+  extend_series(set, small_followup_config(), mid_path, 43);
+  extend_series(set, small_followup_config(), last_path, 44);
+  EXPECT_NO_THROW(analyze_series(set, {}));
+
+  const Bytes full = read_file_bytes(mid_path);
+  ASSERT_GT(full.size(), 120u);
+  for (const std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{40}}) {
+    write_file_bytes(mid_path, Bytes(full.begin(), full.begin() + static_cast<long>(cut)));
+    try {
+      analyze_series(set, {});
+      FAIL() << "series with member 1 truncated at " << cut << " did not throw";
+    } catch (const SnapshotError& e) {
+      EXPECT_FALSE(std::string(e.what()).empty());
+    }
+  }
+  std::remove(base_path.c_str());
+  std::remove(mid_path.c_str());
+  std::remove(last_path.c_str());
+}
+
+TEST(SeriesChainValidation, OrderingRules) {
+  auto member = [](const std::string& label, std::int64_t epoch) {
+    SnapshotMeta meta;
+    meta.campaign_label = label;
+    meta.campaign_epoch_days = epoch;
+    return meta;
+  };
+  // Strictly increasing epochs over declared members, undeclared skipped.
+  EXPECT_NO_THROW(validate_campaign_chain({member("a", 100), member("b", 200), member("c", 300)}));
+  EXPECT_NO_THROW(validate_campaign_chain({member("a", 100), member("", 0), member("c", 300)}));
+  EXPECT_THROW(validate_campaign_chain({member("a", 200), member("b", 100)}), SnapshotError);
+  EXPECT_THROW(validate_campaign_chain({member("a", 100), member("b", 200), member("c", 150)}),
+               SnapshotError);
+  EXPECT_THROW(validate_campaign_chain({member("a", 100), member("a", 100)}), SnapshotError);
+
+  // A label-only member in between cannot hide a time-reversed series:
+  // epochs compare against the last declared one.
+  EXPECT_THROW(validate_campaign_chain({member("a", 100), member("b", 0), member("c", 50)}),
+               SnapshotError);
+  EXPECT_NO_THROW(validate_campaign_chain({member("a", 100), member("b", 0), member("c", 150)}));
+
+  // The same rules through the CampaignSet / analyze_series surface.
+  const ScanSnapshot week = make_measurement(100, {{10, SecurityPolicy::None, -1, "", 0}});
+  CampaignSet backwards;
+  backwards.add_snapshots({week}, "late", 300);
+  backwards.add_snapshots({week}, "early", 200);
+  EXPECT_THROW(analyze_series(backwards, {}), SnapshotError);
+  SeriesOptions unchecked;
+  unchecked.validate_ordering = false;
+  EXPECT_NO_THROW(analyze_series(backwards, unchecked));
+}
+
+// ---------------------------------------- early-merge thread invariance ----
+
+TEST(AnalysisEarlyMerge, ThrowingMergeNeverMergesAnIndexTwice) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> merged(64);
+  for (auto& m : merged) m = 0;
+  try {
+    pool.parallel_for_merged(
+        merged.size(), [](std::size_t) {},
+        [&](std::size_t i) {
+          if (++merged[i] > 1) std::abort();  // exactly-once contract
+          if (i == 5) throw std::runtime_error("merge failed");
+        });
+    FAIL() << "merge exception did not propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "merge failed");
+  }
+  // The ascending prefix up to the failure merged exactly once; the
+  // poisoned drain never touched anything past it.
+  for (std::size_t i = 0; i <= 5; ++i) EXPECT_EQ(merged[i].load(), 1) << i;
+  for (std::size_t i = 6; i < merged.size(); ++i) EXPECT_EQ(merged[i].load(), 0) << i;
+}
+
+TEST(AnalysisEarlyMerge, PrefixMergedAggregationStaysThreadInvariant) {
+  const std::vector<ScanSnapshot> study = make_base_study(70, 3);
+  AnalysisOptions serial;
+  serial.threads = 1;
+  serial.chunk_records = 7;  // many ragged chunks -> many prefix merges
+  AnalysisOptions parallel;
+  parallel.threads = 8;
+  parallel.chunk_records = 7;
+  const StudyAnalysis a = analyze_snapshots(study, serial);
+  const StudyAnalysis b = analyze_snapshots(study, parallel);
+  EXPECT_TRUE(a.figures_equal(b));
+}
+
+}  // namespace
+}  // namespace opcua_study
