@@ -26,6 +26,84 @@ void merge_count_map(std::map<K, int>& into, const std::map<K, int>& from) {
   for (const auto& [key, count] : from) into[key] += count;
 }
 
+// ------------------------------------------- v6 columnar fast path ----
+
+// Everything the figure passes ever derive from a certificate, computed
+// once per *dictionary entry* instead of once per host occurrence. On a
+// fleet where thousands of hosts share a handful of certificates this
+// removes all repeated SHA-1 thumbprints and DER parses.
+struct DictCertEntry {
+  std::string fp_hex;
+  bool parsed = false;
+  HashAlgorithm hash = HashAlgorithm::sha1;
+  std::size_t key_bits = 0;
+  bool self_signed = false;
+  std::string org;
+  std::int64_t not_before_days = 0;
+  std::string modulus_hex;  // only filled when the §5.3 sweep runs
+  Bignum modulus;
+};
+
+struct DictCertCache {
+  std::vector<DictCertEntry> entries;
+
+  DictCertCache(const SnapshotReader& reader, bool with_moduli) {
+    entries.reserve(reader.cert_count());
+    for (std::uint32_t id = 0; id < reader.cert_count(); ++id) {
+      DictCertEntry entry;
+      const auto der = reader.cert_der(id);
+      entry.fp_hex = to_hex(x509_thumbprint(der));
+      try {
+        const Certificate cert = x509_parse(der);
+        entry.parsed = true;
+        entry.hash = cert.signature_hash;
+        entry.key_bits = cert.key_bits();
+        entry.self_signed = cert.self_signed();
+        entry.org = cert.subject.organization;
+        entry.not_before_days = cert.not_before_days;
+        if (with_moduli) {
+          entry.modulus_hex = cert.public_key.n.to_hex();
+          entry.modulus = cert.public_key.n;
+        }
+      } catch (const DecodeError&) {
+      }
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  const DictCertEntry& at(std::uint32_t id) const {
+    if (id >= entries.size()) {
+      throw DecodeError("certificate id " + std::to_string(id) + " out of dictionary range (" +
+                        std::to_string(entries.size()) + " entries)");
+    }
+    return entries[id];
+  }
+
+  /// Mirror of primary_certificate(): the head list is the distinct
+  /// certificates in first-seen endpoint order, so the first entry that
+  /// parses is the certificate the reference helper returns.
+  const DictCertEntry* primary(const std::vector<std::uint32_t>& ids) const {
+    for (const std::uint32_t id : ids) {
+      const DictCertEntry& entry = at(id);
+      if (entry.parsed) return &entry;
+    }
+    return nullptr;
+  }
+};
+
+/// Run fn(view) over one chunk, converting cursor decode failures into the
+/// same SnapshotError shape read_chunk reports.
+template <typename Fn>
+void visit_columnar(const SnapshotReader& reader, std::size_t chunk, Fn&& fn) {
+  const ColumnView view = reader.column_view(chunk);
+  try {
+    fn(view);
+  } catch (const DecodeError& e) {
+    throw SnapshotError("corrupt chunk " + std::to_string(chunk) + " (v6, chunk at byte " +
+                        std::to_string(reader.chunks()[chunk].file_offset) + "): " + e.what());
+  }
+}
+
 // ------------------------------------------------- pass 1: cert census ----
 
 /// Certificate census of the final measurement: reuse clusters over the
@@ -62,6 +140,32 @@ struct CensusPartial {
         } catch (const DecodeError&) {
         }
       }
+    }
+  }
+
+  /// Columnar mirror of absorb(): the head id list *is* the distinct
+  /// certificate list (the writer interns by content), so every per-DER
+  /// computation becomes a dictionary lookup.
+  void absorb_columnar(const ColumnView& view, std::size_t i, const DictCertCache& cache,
+                       std::vector<std::uint32_t>& ids, bool collect_moduli) {
+    ids.clear();
+    VarRecordCursor cursor(view.var_record(i));
+    cursor.cert_ids(ids);
+    if (collect_moduli) {
+      for (const std::uint32_t id : ids) {
+        const DictCertEntry& entry = cache.at(id);
+        if (entry.parsed) moduli.try_emplace(entry.modulus_hex, entry.modulus);
+      }
+    }
+    if (view.application_type[i] == static_cast<std::uint8_t>(ApplicationType::DiscoveryServer)) {
+      return;
+    }
+    for (const std::uint32_t id : ids) {
+      const DictCertEntry& entry = cache.at(id);
+      Cluster& cluster = clusters[entry.fp_hex];
+      ++cluster.hosts;
+      cluster.ases.insert(view.asn[i]);
+      if (cluster.org.empty()) cluster.org = entry.org;
     }
   }
 
@@ -325,6 +429,251 @@ struct ChunkPartial {
     }
     if (host_deficient) ++deficits.deficient_total;
   }
+
+  /// Columnar mirror of absorb() for v6 chunks: scalar figures come from
+  /// the fixed columns, identity strings and cert ids from a lazy cursor
+  /// over the var record, and per-certificate facts from the dictionary
+  /// cache. Mask iteration runs in enum order, which is equivalent to the
+  /// record path's first-seen endpoint order because every mode/policy has
+  /// a distinct rank and no endpoint ever advertises Invalid mode.
+  void absorb_columnar(const ColumnView& view, std::size_t i, const DictCertCache& cache,
+                       std::vector<std::uint32_t>& ids, bool final_week,
+                       const FinalWeekSets& sets) {
+    const std::uint8_t host_flags = view.flags[i];
+    const bool anonymous_offered = (host_flags & snapshot_flags::kAnonymousOffered) != 0;
+    const bool is_discovery = view.application_type[i] ==
+                              static_cast<std::uint8_t>(ApplicationType::DiscoveryServer);
+    const bool accessible =
+        view.session[i] == static_cast<std::uint8_t>(SessionOutcome::accessible);
+
+    // Var-column reads happen up front in stage order; the figure logic
+    // below then mirrors absorb() statement for statement (within one host
+    // every statistic is a pure accumulation, so ordering is free).
+    ids.clear();
+    VarRecordCursor cursor(view.var_record(i));
+    std::string app_uri;
+    std::string software;
+    std::vector<std::string> nss;
+    if (!is_discovery) {
+      cursor.cert_ids(ids);
+      app_uri = cursor.application_uri();
+      software = cursor.software_version();
+      if (final_week && accessible) nss = cursor.namespaces();
+    }
+    if (final_week && accessible) {
+      int vars = 0, readable = 0, writable = 0, methods = 0, executable = 0;
+      cursor.visit_nodes([&](NodeClass node_class, bool r, bool w, bool x) {
+        if (node_class == NodeClass::Variable) {
+          ++vars;
+          readable += r;
+          writable += w;
+        } else if (node_class == NodeClass::Method) {
+          ++methods;
+          executable += x;
+        }
+      });
+      if (vars > 0) {
+        access.read_fractions.push_back(static_cast<double>(readable) / vars);
+        access.write_fractions.push_back(static_cast<double>(writable) / vars);
+      }
+      if (methods > 0) {
+        access.exec_fractions.push_back(static_cast<double>(executable) / methods);
+      }
+    }
+
+    if (is_discovery) {
+      ++discovery;
+      return;
+    }
+    ++servers;
+    const std::string cluster = manufacturer_cluster(app_uri);
+    by_manufacturer[cluster]++;
+    via_reference += (host_flags & snapshot_flags::kFoundViaReference) != 0;
+    non_default_port += view.port[i] != kOpcUaDefaultPort;
+
+    const std::uint8_t policy_mask = view.policy_mask[i];
+    SecurityPolicy max = SecurityPolicy::None;
+    for (int code = 0; code <= 5; ++code) {
+      // Table rank order equals enum order, so the highest set bit wins.
+      if (policy_mask & (1u << code)) max = static_cast<SecurityPolicy>(code);
+    }
+    const DictCertEntry* cert = cache.primary(ids);
+    const bool cert_too_weak =
+        cert && max != SecurityPolicy::None &&
+        classify_certificate(max, cert->hash, cert->key_bits) == CertConformance::too_weak;
+    const bool host_deficient = max == SecurityPolicy::None || policy_info(max).deprecated ||
+                                cert_too_weak || anonymous_offered;
+    deficient += host_deficient;
+
+    // History / corpus / fleet membership (§5.5).
+    HostObs obs;
+    obs.ip = view.ip[i];
+    obs.port = view.port[i];
+    obs.software = std::move(software);
+    bool in_big_cluster = false;
+    for (const std::uint32_t id : ids) {
+      const DictCertEntry& entry = cache.at(id);
+      obs.fps.insert(entry.fp_hex);
+      if (entry.parsed) {
+        obs.hashes[entry.fp_hex] = entry.hash;
+        corpus.try_emplace(entry.fp_hex, entry.hash, entry.not_before_days);
+      }
+      if (sets.big_cluster_fps.contains(entry.fp_hex)) in_big_cluster = true;
+    }
+    reuse_devices += in_big_cluster;
+    history.push_back(std::move(obs));
+
+    if (!final_week) return;
+
+    // ----- Fig. 3: security modes and policies --------------------------
+    ++modes.servers;
+    const std::uint8_t mode_mask = view.mode_mask[i];
+    MessageSecurityMode weakest_mode = MessageSecurityMode::Invalid;
+    MessageSecurityMode strongest_mode = MessageSecurityMode::Invalid;
+    for (int m = 0; m <= 3; ++m) {
+      if (!(mode_mask & (1u << m))) continue;
+      const auto mode = static_cast<MessageSecurityMode>(m);
+      modes.mode_support[mode]++;
+      if (weakest_mode == MessageSecurityMode::Invalid ||
+          security_mode_rank(mode) < security_mode_rank(weakest_mode)) {
+        weakest_mode = mode;
+      }
+      if (security_mode_rank(mode) > security_mode_rank(strongest_mode)) strongest_mode = mode;
+    }
+    if (weakest_mode != MessageSecurityMode::Invalid) modes.mode_least[weakest_mode]++;
+    if (strongest_mode != MessageSecurityMode::Invalid) modes.mode_most[strongest_mode]++;
+    if (strongest_mode == MessageSecurityMode::None) ++modes.none_only;
+    if (security_mode_rank(strongest_mode) >= security_mode_rank(MessageSecurityMode::Sign)) {
+      ++modes.secure_mode_capable;
+    }
+
+    SecurityPolicy weakest = SecurityPolicy::None;
+    SecurityPolicy strongest = SecurityPolicy::None;
+    int weakest_rank = 1000, strongest_rank = -1;
+    bool any_deprecated = false;
+    bool any_policy = false;
+    for (int code = 0; code <= 5; ++code) {
+      if (!(policy_mask & (1u << code))) continue;
+      any_policy = true;
+      const auto policy = static_cast<SecurityPolicy>(code);
+      modes.policy_support[policy]++;
+      const auto& info = policy_info(policy);
+      any_deprecated |= info.deprecated;
+      if (info.rank < weakest_rank) {
+        weakest_rank = info.rank;
+        weakest = policy;
+      }
+      if (info.rank > strongest_rank) {
+        strongest_rank = info.rank;
+        strongest = policy;
+      }
+    }
+    if (any_policy) {
+      modes.policy_least[weakest]++;
+      modes.policy_most[strongest]++;
+      if (policy_info(weakest).secure) ++modes.strong_enforcing;
+      if (policy_info(strongest).secure) ++modes.strong_capable;
+      if (policy_info(strongest).deprecated) ++modes.deprecated_max;
+    }
+    modes.deprecated_supported += any_deprecated;
+
+    // ----- Fig. 4: certificate conformance ------------------------------
+    if (cert) {
+      ++certs.hosts_with_cert;
+      if (!cert->self_signed) ++certs.ca_signed;
+      const CertClassKey key{cert->hash, cert->key_bits};
+      for (int code = 0; code <= 5; ++code) {
+        if (!(policy_mask & (1u << code))) continue;
+        const auto policy = static_cast<SecurityPolicy>(code);
+        certs.class_counts[policy][key]++;
+        certs.announced_with_cert[policy]++;
+        switch (classify_certificate(policy, cert->hash, cert->key_bits)) {
+          case CertConformance::too_weak: certs.too_weak[policy]++; break;
+          case CertConformance::too_strong: certs.too_strong[policy]++; break;
+          case CertConformance::conformant: break;
+        }
+      }
+      if (cert_too_weak) ++certs.weaker_than_max;
+    }
+
+    // ----- Fig. 6 / Table 2: authentication -----------------------------
+    ++auth.servers;
+    AuthRow probe;
+    const std::uint8_t token_mask = view.token_mask[i];
+    probe.anonymous = (token_mask & (1u << static_cast<int>(UserTokenType::Anonymous))) != 0;
+    probe.credentials = (token_mask & (1u << static_cast<int>(UserTokenType::UserName))) != 0;
+    probe.certificate = (token_mask & (1u << static_cast<int>(UserTokenType::Certificate))) != 0;
+    probe.token = (token_mask & (1u << static_cast<int>(UserTokenType::IssuedToken))) != 0;
+    AuthRow& row = auth_rows.try_emplace(probe.key(), probe).first->second;
+    const bool sc_rejected =
+        view.channel[i] == static_cast<std::uint8_t>(ChannelOutcome::cert_rejected) ||
+        view.channel[i] == static_cast<std::uint8_t>(ChannelOutcome::failed);
+    if (sc_rejected) {
+      ++auth.channel_rejected;
+      ++row.channel_rejected;
+    } else {
+      ++auth.channel_capable;
+    }
+    if (probe.anonymous) {
+      ++auth.anonymous_offered;
+      if (!sc_rejected) ++auth.anonymous_channel_capable;
+      const bool none_mode =
+          (mode_mask & (1u << static_cast<int>(MessageSecurityMode::None))) != 0;
+      if (!none_mode) ++auth.anonymous_secure_only;
+    }
+    if (accessible) {
+      ++auth.accessible;
+      switch (classify_namespaces(nss)) {
+        case SystemClass::production:
+          ++auth.production;
+          ++row.production;
+          break;
+        case SystemClass::test:
+          ++auth.test;
+          ++row.test;
+          break;
+        case SystemClass::unclassified:
+          ++auth.unclassified;
+          ++row.unclassified;
+          break;
+      }
+    } else if (!sc_rejected) {
+      ++auth.auth_rejected;
+      ++row.auth_rejected;
+    }
+
+    // ----- Fig. 8: deficit breakdown ------------------------------------
+    ++deficits.servers;
+    auto tally = [&](const char* deficit) {
+      deficits.by_manufacturer[deficit][cluster]++;
+      deficits.by_as[deficit][view.asn[i]]++;
+    };
+    if (max == SecurityPolicy::None) {
+      ++deficits.none_only;
+      tally("None");
+    }
+    if (max != SecurityPolicy::None && policy_info(max).deprecated) {
+      ++deficits.deprecated_only;
+      tally("Deprecated Policies");
+    }
+    if (cert_too_weak) {
+      ++deficits.weak_certificate;
+      tally("Too Weak Certificate");
+    }
+    bool reused = false;
+    for (const std::uint32_t id : ids) {
+      if (sets.reused_fps.contains(cache.at(id).fp_hex)) reused = true;
+    }
+    if (reused) {
+      ++deficits.cert_reuse;
+      tally("Certificate Reuse");
+    }
+    if (anonymous_offered) {
+      ++deficits.anonymous_access;
+      tally("Anonymous Access");
+    }
+    if (host_deficient) ++deficits.deficient_total;
+  }
 };
 
 void merge_figures(ChunkPartial& into, ChunkPartial&& from) {
@@ -405,7 +754,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 void ReaderRecordSource::visit_chunk(std::size_t chunk,
                                      const std::function<void(const HostScanRecord&)>& fn) const {
-  const std::vector<HostScanRecord> records = reader_.read_chunk(chunk);
+  // Each pool worker reuses one decode buffer across all the chunks it
+  // processes instead of allocating (and churning) a fresh vector per call.
+  static thread_local std::vector<HostScanRecord> records;
+  reader_.read_chunk(chunk, records);
   for (const auto& record : records) fn(record);
 }
 
@@ -461,6 +813,13 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
 
   ThreadPool pool(options.threads);
 
+  // Columnar fast path: when the source is a little-endian v6 file, the
+  // passes below scan mmapped columns and share one per-dictionary-entry
+  // certificate cache instead of decoding full records chunk by chunk.
+  const SnapshotReader* col = source.columnar_reader();
+  std::optional<DictCertCache> dict_cache;
+  if (col != nullptr) dict_cache.emplace(*col, options.shared_primes);
+
   // ---- pass 1: certificate census of the final measurement --------------
   // Early prefix merge: completed chunk partials are folded into the
   // census as workers advance (in chunk order, so the result is identical
@@ -471,9 +830,19 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   pool.parallel_for_merged(
       final_chunks.size(),
       [&](std::size_t i) {
-        source.visit_chunk(final_chunks[i], [&](const HostScanRecord& host) {
-          census_partials[i].absorb(host, options.shared_primes);
-        });
+        if (col != nullptr) {
+          visit_columnar(*col, final_chunks[i], [&](const ColumnView& view) {
+            std::vector<std::uint32_t> ids;
+            for (std::size_t r = 0; r < view.records; ++r) {
+              census_partials[i].absorb_columnar(view, r, *dict_cache, ids,
+                                                 options.shared_primes);
+            }
+          });
+        } else {
+          source.visit_chunk(final_chunks[i], [&](const HostScanRecord& host) {
+            census_partials[i].absorb(host, options.shared_primes);
+          });
+        }
       },
       [&](std::size_t i) {
         census.merge(std::move(census_partials[i]));
@@ -510,9 +879,18 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
       chunk_count,
       [&](std::size_t c) {
         const bool is_final = source.chunk_week(c) == final_week;
-        source.visit_chunk(c, [&](const HostScanRecord& host) {
-          partials[c].absorb(host, is_final, sets);
-        });
+        if (col != nullptr) {
+          visit_columnar(*col, c, [&](const ColumnView& view) {
+            std::vector<std::uint32_t> ids;
+            for (std::size_t r = 0; r < view.records; ++r) {
+              partials[c].absorb_columnar(view, r, *dict_cache, ids, is_final, sets);
+            }
+          });
+        } else {
+          source.visit_chunk(c, [&](const HostScanRecord& host) {
+            partials[c].absorb(host, is_final, sets);
+          });
+        }
       },
       [&](std::size_t c) {
         ChunkPartial& partial = partials[c];

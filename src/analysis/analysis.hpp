@@ -74,6 +74,10 @@ class RecordSource {
   virtual std::size_t chunk_week(std::size_t chunk) const = 0;
   virtual void visit_chunk(std::size_t chunk,
                            const std::function<void(const HostScanRecord&)>& fn) const = 0;
+  /// Non-null when chunk indices can also be served as zero-copy v6
+  /// ColumnViews (reader.column_view(chunk)). Consumers that have a
+  /// columnar fast path use it; everyone else keeps calling visit_chunk.
+  virtual const SnapshotReader* columnar_reader() const { return nullptr; }
 };
 
 /// Adapters.
@@ -88,6 +92,9 @@ class ReaderRecordSource final : public RecordSource {
   }
   void visit_chunk(std::size_t chunk,
                    const std::function<void(const HostScanRecord&)>& fn) const override;
+  const SnapshotReader* columnar_reader() const override {
+    return reader_.columnar() ? &reader_ : nullptr;
+  }
 
  private:
   const SnapshotReader& reader_;

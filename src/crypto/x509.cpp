@@ -233,4 +233,13 @@ Bytes x509_thumbprint(std::span<const std::uint8_t> der_bytes) {
   return hash(HashAlgorithm::sha1, der_bytes);
 }
 
+std::uint64_t certificate_fingerprint64(std::span<const std::uint8_t> der_bytes) {
+  const Bytes thumb = x509_thumbprint(der_bytes);
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < 8 && i < thumb.size(); ++i) {
+    fp = (fp << 8) | thumb[i];
+  }
+  return fp;
+}
+
 }  // namespace opcua_study

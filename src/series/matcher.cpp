@@ -14,13 +14,6 @@ namespace opcua_study {
 
 namespace {
 
-std::uint64_t fingerprint64(const Bytes& der) {
-  const Bytes thumb = x509_thumbprint(der);
-  std::uint64_t fp = 0;
-  for (std::size_t i = 0; i < 8 && i < thumb.size(); ++i) fp = fp << 8 | thumb[i];
-  return fp;
-}
-
 HostPosture absorb(const HostScanRecord& host) {
   HostPosture p;
   p.ip = host.ip;
@@ -49,7 +42,92 @@ HostPosture absorb(const HostScanRecord& host) {
   // so the diff can never drift from the per-campaign analyses.
   p.deficient = is_deficient(host);
 
-  for (const auto& der : host.distinct_certificates()) p.fps.push_back(fingerprint64(der));
+  p.fps = host.distinct_cert_fingerprints();
+  std::sort(p.fps.begin(), p.fps.end());
+  p.fps.erase(std::unique(p.fps.begin(), p.fps.end()), p.fps.end());
+  return p;
+}
+
+// ------------------------------------------- v6 columnar fast path ----
+
+/// Per-dictionary-entry facts the posture absorb needs — computed once per
+/// distinct certificate in the file instead of once per host occurrence.
+struct DictPostureEntry {
+  std::uint64_t fp64 = 0;
+  bool parsed = false;
+  HashAlgorithm hash = HashAlgorithm::sha1;
+  std::size_t key_bits = 0;
+};
+
+std::vector<DictPostureEntry> build_posture_dict(const SnapshotReader& reader) {
+  std::vector<DictPostureEntry> dict;
+  dict.reserve(reader.cert_count());
+  for (std::uint32_t id = 0; id < reader.cert_count(); ++id) {
+    DictPostureEntry entry;
+    entry.fp64 = reader.cert_fp64(id);
+    try {
+      const Certificate cert = x509_parse(reader.cert_der(id));
+      entry.parsed = true;
+      entry.hash = cert.signature_hash;
+      entry.key_bits = cert.key_bits();
+    } catch (const DecodeError&) {
+    }
+    dict.push_back(entry);
+  }
+  return dict;
+}
+
+/// Columnar mirror of absorb(): every posture field is either a fixed
+/// column, a mask derivation (policy table rank order equals enum order,
+/// so the highest set bit is the strongest policy), or a dictionary
+/// lookup keyed by the record's cert id head list. The var record is only
+/// touched for that head list — strings, endpoints and nodes stay encoded.
+HostPosture absorb_columnar(const ColumnView& view, std::size_t i,
+                            const std::vector<DictPostureEntry>& dict,
+                            std::vector<std::uint32_t>& ids) {
+  HostPosture p;
+  p.ip = view.ip[i];
+  p.port = view.port[i];
+  p.asn = view.asn[i];
+  p.uri_hash = view.uri_hash[i];
+
+  const std::uint8_t mode_mask = view.mode_mask[i];
+  p.mode_bucket = (mode_mask & (1u << static_cast<int>(MessageSecurityMode::SignAndEncrypt)))  ? 2
+                  : (mode_mask & (1u << static_cast<int>(MessageSecurityMode::Sign))) ? 1
+                                                                                      : 0;
+
+  const std::uint8_t policy_mask = view.policy_mask[i];
+  SecurityPolicy max = SecurityPolicy::None;
+  bool supports_deprecated = false;
+  for (int code = 0; code <= 5; ++code) {
+    if (!(policy_mask & (1u << code))) continue;
+    const auto policy = static_cast<SecurityPolicy>(code);
+    max = policy;
+    supports_deprecated |= policy_info(policy).deprecated;
+  }
+  const auto& info = policy_info(max);
+  p.policy_bucket = info.secure ? 2 : info.deprecated ? 1 : 0;
+  p.supports_deprecated = supports_deprecated;
+  p.anonymous = (view.flags[i] & snapshot_flags::kAnonymousOffered) != 0;
+
+  ids.clear();
+  VarRecordCursor cursor(view.var_record(i));
+  cursor.cert_ids(ids);
+  const DictPostureEntry* primary = nullptr;
+  for (const std::uint32_t id : ids) {
+    if (id >= dict.size()) {
+      throw DecodeError("certificate id " + std::to_string(id) + " out of dictionary range (" +
+                        std::to_string(dict.size()) + " entries)");
+    }
+    const DictPostureEntry& entry = dict[id];
+    p.fps.push_back(entry.fp64);
+    if (primary == nullptr && entry.parsed) primary = &entry;
+  }
+  const bool cert_too_weak =
+      primary != nullptr && max != SecurityPolicy::None &&
+      classify_certificate(max, primary->hash, primary->key_bits) == CertConformance::too_weak;
+  p.deficient = max == SecurityPolicy::None || info.deprecated || cert_too_weak || p.anonymous;
+
   std::sort(p.fps.begin(), p.fps.end());
   p.fps.erase(std::unique(p.fps.begin(), p.fps.end()), p.fps.end());
   return p;
@@ -101,11 +179,30 @@ std::vector<HostPosture> collect_postures(const RecordSource& source, ThreadPool
   std::vector<std::vector<HostPosture>> partials(final_chunks.size());
   std::vector<HostPosture> postures;
   postures.reserve(source.week_meta(final_week).host_count);
+  const SnapshotReader* col = source.columnar_reader();
+  std::vector<DictPostureEntry> dict;
+  if (col != nullptr) dict = build_posture_dict(*col);
   // Early prefix merge: completed chunk partials are appended (in chunk
   // order) and freed while later chunks are still being absorbed.
   pool.parallel_for_merged(
       final_chunks.size(),
       [&](std::size_t i) {
+        if (col != nullptr) {
+          const std::size_t chunk = final_chunks[i];
+          const ColumnView view = col->column_view(chunk);
+          try {
+            std::vector<std::uint32_t> ids;
+            partials[i].reserve(view.records);
+            for (std::size_t r = 0; r < view.records; ++r) {
+              partials[i].push_back(absorb_columnar(view, r, dict, ids));
+            }
+          } catch (const DecodeError& e) {
+            throw SnapshotError("corrupt chunk " + std::to_string(chunk) + " (v6, chunk at byte " +
+                                std::to_string(col->chunks()[chunk].file_offset) +
+                                "): " + e.what());
+          }
+          return;
+        }
         source.visit_chunk(final_chunks[i],
                            [&](const HostScanRecord& host) { partials[i].push_back(absorb(host)); });
       },

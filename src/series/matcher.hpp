@@ -43,6 +43,8 @@ struct HostPosture {
   bool anonymous = false;
   bool deficient = false;
   std::vector<std::uint64_t> fps;  // sorted, deduplicated
+
+  friend bool operator==(const HostPosture&, const HostPosture&) = default;
 };
 
 /// How one follow-up host was linked to its base-side identity.

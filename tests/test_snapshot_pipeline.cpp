@@ -1,9 +1,12 @@
 // Chunked snapshot pipeline + shared analysis library:
-//  - v5 round trips across chunk boundaries, v4 files still load,
+//  - v6 (columnar + cert dictionary) round trips across chunk boundaries,
+//    v4 and v5 files still load, and rewriting either as v6 preserves
+//    every record byte-deterministically,
 //  - truncated / corrupt files fail with SnapshotError instead of
-//    yielding garbage records,
+//    yielding garbage records; out-of-range dictionary ids are rejected,
 //  - the streaming Aggregator is deterministic in the thread count and
-//    bit-identical to the assess/ reference implementations.
+//    input format and bit-identical to the assess/ reference
+//    implementations (the v6 columnar fast path included).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -122,8 +125,8 @@ std::vector<ScanSnapshot> make_study(std::size_t hosts_per_week, int weeks = 2) 
   return snapshots;
 }
 
-TEST(SnapshotV5, RoundTripAcrossChunkBoundaries) {
-  const std::string path = "/tmp/opcua_test_v5_chunks.bin";
+TEST(SnapshotV6, RoundTripAcrossChunkBoundaries) {
+  const std::string path = "/tmp/opcua_test_v6_chunks.bin";
   const std::vector<ScanSnapshot> study = make_study(10);
 
   // chunk_records = 3 forces boundaries inside each measurement (10 hosts
@@ -133,7 +136,8 @@ TEST(SnapshotV5, RoundTripAcrossChunkBoundaries) {
   writer.finish();
 
   const SnapshotReader reader(path, 42);
-  EXPECT_EQ(reader.version(), 5u);
+  EXPECT_EQ(reader.version(), 6u);
+  EXPECT_GT(reader.cert_count(), 0u);
   ASSERT_EQ(reader.snapshots().size(), 2u);
   EXPECT_EQ(reader.snapshots()[0].host_count, 10u);
   EXPECT_EQ(reader.snapshots()[1].measurement_index, 1);
@@ -365,6 +369,209 @@ TEST(StreamedStudyWriter, MatchesBatchSave) {
   EXPECT_EQ(read_file_bytes(batch_path), read_file_bytes(stream_path));
   std::remove(batch_path.c_str());
   std::remove(stream_path.c_str());
+}
+
+TEST(SnapshotV6, V5WriterStillSupported) {
+  const std::string path = "/tmp/opcua_test_v5_writer.bin";
+  const std::vector<ScanSnapshot> study = make_study(10);
+  SnapshotWriter writer(path, 42, 3, /*format_version=*/5);
+  for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+  writer.finish();
+
+  const SnapshotReader reader(path, 42);
+  EXPECT_EQ(reader.version(), 5u);
+  EXPECT_FALSE(reader.columnar());
+  EXPECT_EQ(reader.cert_count(), 0u);
+  EXPECT_EQ(reader.load_all(), study);
+  EXPECT_THROW(reader.column_view(0), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV6, RewriteFromV4AndV5IsEquivalentAndDeterministic) {
+  const std::string v4_path = "/tmp/opcua_test_rw_v4.bin";
+  const std::string v5_path = "/tmp/opcua_test_rw_v5.bin";
+  const std::string out_a = "/tmp/opcua_test_rw_a.bin";
+  const std::string out_b = "/tmp/opcua_test_rw_b.bin";
+  const std::vector<ScanSnapshot> study = make_study(14);
+
+  save_snapshots_v4(v4_path, 42, study);
+  {
+    SnapshotWriter writer(v5_path, 42, SnapshotWriter::kDefaultChunkRecords, 5);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+
+  // v4 -> v6 and v5 -> v6 rewrites preserve every record and, fed the
+  // same records and seed, produce byte-identical v6 files.
+  const SnapshotReader v4_reader(v4_path, 42);
+  const SnapshotReader v5_reader(v5_path, 42);
+  save_snapshots(out_a, 42, v4_reader.load_all());
+  save_snapshots(out_b, 42, v5_reader.load_all());
+  EXPECT_EQ(read_file_bytes(out_a), read_file_bytes(out_b));
+
+  const SnapshotReader v6_reader(out_a, 42);
+  EXPECT_EQ(v6_reader.version(), 6u);
+  EXPECT_EQ(v6_reader.load_all(), study);
+
+  // Rewriting the same records again is byte-stable.
+  save_snapshots(out_b, 42, v6_reader.load_all());
+  EXPECT_EQ(read_file_bytes(out_a), read_file_bytes(out_b));
+
+  std::remove(v4_path.c_str());
+  std::remove(v5_path.c_str());
+  std::remove(out_a.c_str());
+  std::remove(out_b.c_str());
+}
+
+TEST(SnapshotV6, FiguresIdenticalAcrossFormatsAndThreads) {
+  const std::string v4_path = "/tmp/opcua_test_fig_v4.bin";
+  const std::string v5_path = "/tmp/opcua_test_fig_v5.bin";
+  const std::string v6_path = "/tmp/opcua_test_fig_v6.bin";
+  const std::vector<ScanSnapshot> study = make_study(48);
+  save_snapshots_v4(v4_path, 42, study);
+  {
+    SnapshotWriter writer(v5_path, 42, 11, 5);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  {
+    SnapshotWriter writer(v6_path, 42, 11, 6);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+
+  // The v6 columnar fast path, the v4/v5 record decode paths, and the
+  // in-memory reference must agree figure for figure at any thread count.
+  AnalysisOptions serial;
+  serial.threads = 1;
+  serial.shared_primes = true;
+  serial.shared_prime_threads = 1;
+  AnalysisOptions parallel = serial;
+  parallel.threads = 8;
+  const StudyAnalysis reference = analyze_snapshots(study, serial);
+  EXPECT_TRUE(analyze_file(v4_path, 42, serial).figures_equal(reference));
+  EXPECT_TRUE(analyze_file(v5_path, 42, serial).figures_equal(reference));
+  EXPECT_TRUE(analyze_file(v6_path, 42, serial).figures_equal(reference));
+  EXPECT_TRUE(analyze_file(v6_path, 42, parallel).figures_equal(reference));
+  std::remove(v4_path.c_str());
+  std::remove(v5_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(SnapshotV6, DictionaryIdOutOfRangeRejected) {
+  const std::string path = "/tmp/opcua_test_dict_range.bin";
+  const std::vector<ScanSnapshot> study = make_study(10, 1);
+  {
+    SnapshotWriter writer(path, 42, 3);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  Bytes bytes = read_file_bytes(path);
+  std::uint64_t chunk1_offset = 0;
+  {
+    const SnapshotReader reader(path, 42);
+    ASSERT_GE(reader.chunks().size(), 2u);
+    ASSERT_EQ(reader.chunks()[1].record_count, 3u);
+    chunk1_offset = reader.chunks()[1].file_offset;
+  }
+  // Chunk 1's first record is host 3, which carries a certificate: its var
+  // record starts with u16 head count, then the u32 dictionary ids. Patch
+  // the first id to a value far past the dictionary.
+  const std::size_t id_offset = chunk1_offset + 24 + (47 * 3 + 4) + 2;
+  bytes[id_offset + 0] = 0xfe;
+  bytes[id_offset + 1] = 0xff;
+  bytes[id_offset + 2] = 0xff;
+  bytes[id_offset + 3] = 0xff;
+  write_file_bytes(path, bytes);
+
+  std::string error;
+  EXPECT_FALSE(load_snapshots(path, 42, &error).has_value());
+  EXPECT_NE(error.find("certificate id"), std::string::npos) << error;
+  EXPECT_NE(error.find("dictionary range"), std::string::npos) << error;
+  // The columnar figure pass must reject it too, not index out of bounds.
+  EXPECT_THROW(analyze_file(path, 42, {}), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV6, SeedMismatchNamesFormatVersion) {
+  const std::string v4_path = "/tmp/opcua_test_seed_v4.bin";
+  const std::string v5_path = "/tmp/opcua_test_seed_v5.bin";
+  const std::string v6_path = "/tmp/opcua_test_seed_v6.bin";
+  const std::vector<ScanSnapshot> study = make_study(3, 1);
+  save_snapshots_v4(v4_path, 42, study);
+  {
+    SnapshotWriter writer(v5_path, 42, SnapshotWriter::kDefaultChunkRecords, 5);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  save_snapshots(v6_path, 42, study);
+
+  // The mis-seed diagnostic names the detected format version and the
+  // offset of the seed field, so operators can see *what* they opened.
+  const auto expect_mis_seed = [](const std::string& path, const char* version_tag) {
+    std::string error;
+    EXPECT_FALSE(load_snapshots(path, 43, &error).has_value());
+    EXPECT_NE(error.find("seed mismatch"), std::string::npos) << error;
+    EXPECT_NE(error.find("byte offset 8"), std::string::npos) << error;
+    EXPECT_NE(error.find(version_tag), std::string::npos) << error;
+  };
+  expect_mis_seed(v4_path, "v4");
+  expect_mis_seed(v5_path, "v5");
+  expect_mis_seed(v6_path, "v6");
+  std::remove(v4_path.c_str());
+  std::remove(v5_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(SnapshotV6, ReadChunkBufferOverloadMatches) {
+  const std::string path = "/tmp/opcua_test_buffer.bin";
+  const std::vector<ScanSnapshot> study = make_study(10);
+  {
+    SnapshotWriter writer(path, 42, 4);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  const SnapshotReader reader(path, 42);
+  std::vector<HostScanRecord> buffer;  // reused across every chunk
+  for (std::size_t c = 0; c < reader.chunks().size(); ++c) {
+    reader.read_chunk(c, buffer);
+    EXPECT_EQ(buffer, reader.read_chunk(c)) << "chunk " << c;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV6, DistinctCertFingerprintsMatchDistinctCertificates) {
+  for (std::size_t i = 0; i < 12; ++i) {
+    HostScanRecord host = make_host(i, 0);
+    // Duplicate an endpoint so the distinct filter has work to do.
+    if (!host.endpoints.empty()) host.endpoints.push_back(host.endpoints.front());
+    const std::vector<Bytes> ders = host.distinct_certificates();
+    const std::vector<std::uint64_t> fps = host.distinct_cert_fingerprints();
+    ASSERT_EQ(fps.size(), ders.size());
+    for (std::size_t k = 0; k < ders.size(); ++k) {
+      EXPECT_EQ(fps[k], certificate_fingerprint64(ders[k]));
+    }
+  }
+}
+
+TEST(SnapshotV6, DictionaryCompressionShrinksFile) {
+  const std::string v5_path = "/tmp/opcua_test_size_v5.bin";
+  const std::string v6_path = "/tmp/opcua_test_size_v6.bin";
+  const std::vector<ScanSnapshot> study = make_study(200);
+  {
+    SnapshotWriter writer(v5_path, 42, SnapshotWriter::kDefaultChunkRecords, 5);
+    for (const auto& snapshot : study) writer.add_snapshot(snapshot);
+    writer.finish();
+  }
+  save_snapshots(v6_path, 42, study);
+  // The fleet shares 6 certificates across 400 host records: the v6
+  // dictionary stores each DER once, so the file must shrink well below
+  // the v5 row format's inline-DER size.
+  const std::size_t v5_size = read_file_bytes(v5_path).size();
+  const std::size_t v6_size = read_file_bytes(v6_path).size();
+  EXPECT_LT(v6_size * 2, v5_size) << "v5=" << v5_size << " v6=" << v6_size;
+  std::remove(v5_path.c_str());
+  std::remove(v6_path.c_str());
 }
 
 }  // namespace
