@@ -63,5 +63,20 @@ int main(int argc, char** argv) {
   std::printf("\ncertificate copying continues: the distributor fleet sharing one private key "
               "grew from %d to %d devices during the campaign.\n",
               first, last);
+
+  const ScanQualityStats& quality = analysis.scan_quality;
+  if (quality.faulted > 0) {
+    std::printf("\nscan quality: %llu of %llu records saw network faults (%llu events, "
+                "%llu retries); %llu recovered to complete (%.1f%%), %llu truncated, "
+                "%llu degraded.\n",
+                static_cast<unsigned long long>(quality.faulted),
+                static_cast<unsigned long long>(quality.hosts),
+                static_cast<unsigned long long>(quality.fault_events),
+                static_cast<unsigned long long>(quality.retries),
+                static_cast<unsigned long long>(quality.recovered),
+                100.0 * quality.recovery_rate,
+                static_cast<unsigned long long>(quality.truncated),
+                static_cast<unsigned long long>(quality.degraded));
+  }
   return 0;
 }

@@ -208,6 +208,10 @@ struct ChunkPartial {
   };
   std::vector<HostObs> history;
 
+  // Scan quality (fault-injection resilience; all zero on fault-free data).
+  std::uint64_t q_hosts = 0, q_complete = 0, q_truncated = 0, q_degraded = 0, q_unreachable = 0;
+  std::uint64_t q_faulted = 0, q_recovered = 0, q_retries = 0, q_fault_events = 0;
+
   // Final-measurement figures.
   ModePolicyStats modes;
   CertConformanceStats certs;
@@ -216,7 +220,31 @@ struct ChunkPartial {
   AccessRightsStats access;
   DeficitBreakdown deficits;
 
+  /// Quality tallies cover *every* record (discovery servers included —
+  /// the section measures the scan process, not the server population).
+  void absorb_quality(std::uint8_t completeness, std::uint16_t retries, std::uint16_t faults) {
+    if (completeness > 3) {
+      throw DecodeError("snapshot record: invalid completeness value " +
+                        std::to_string(completeness));
+    }
+    ++q_hosts;
+    switch (completeness) {
+      case 0: ++q_complete; break;
+      case 1: ++q_truncated; break;
+      case 2: ++q_degraded; break;
+      default: ++q_unreachable; break;
+    }
+    q_retries += retries;
+    q_fault_events += faults;
+    if (faults > 0) {
+      ++q_faulted;
+      if (completeness == 0) ++q_recovered;
+    }
+  }
+
   void absorb(const HostScanRecord& host, bool final_week, const FinalWeekSets& sets) {
+    absorb_quality(static_cast<std::uint8_t>(host.completeness), host.retries,
+                   host.fault_events);
     // Fig. 7 is the one figure with no discovery-server filter (the
     // reference assess_access_rights keys on session outcome alone).
     if (final_week && host.session == SessionOutcome::accessible) {
@@ -440,6 +468,22 @@ struct ChunkPartial {
                        std::vector<std::uint32_t>& ids, bool final_week,
                        const FinalWeekSets& sets) {
     const std::uint8_t host_flags = view.flags[i];
+    // The scan-quality tail sits at the fixed end of the var slice (5
+    // bytes, little-endian), so it never needs a cursor walk.
+    std::uint8_t q_completeness = 0;
+    std::uint16_t q_rec_retries = 0, q_rec_faults = 0;
+    if (host_flags & snapshot_flags::kScanQuality) {
+      const std::uint32_t begin = view.var_offsets[i];
+      const std::uint32_t end = view.var_offsets[i + 1];
+      if (end - begin < 5) {
+        throw DecodeError("var record too short for its scan-quality tail");
+      }
+      const std::uint8_t* t = view.var_blob.data() + end - 5;
+      q_completeness = t[0];
+      q_rec_retries = static_cast<std::uint16_t>(t[1] | (t[2] << 8));
+      q_rec_faults = static_cast<std::uint16_t>(t[3] | (t[4] << 8));
+    }
+    absorb_quality(q_completeness, q_rec_retries, q_rec_faults);
     const bool anonymous_offered = (host_flags & snapshot_flags::kAnonymousOffered) != 0;
     const bool is_discovery = view.application_type[i] ==
                               static_cast<std::uint8_t>(ApplicationType::DiscoveryServer);
@@ -795,7 +839,7 @@ bool StudyAnalysis::figures_equal(const StudyAnalysis& other) const {
   return weeks == other.weeks && modes == other.modes && certificates == other.certificates &&
          reuse == other.reuse && shared_primes == other.shared_primes && auth == other.auth &&
          access_rights == other.access_rights && deficits == other.deficits &&
-         longitudinal == other.longitudinal;
+         longitudinal == other.longitudinal && scan_quality == other.scan_quality;
 }
 
 StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& options) {
@@ -867,6 +911,7 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   // end; now at most the unmerged suffix does.
   ChunkPartial total;
   std::vector<WeeklyObservation> week_obs(weeks);
+  std::vector<ScanQualityWeek> quality_weeks(weeks);
   struct HostHistory {
     std::vector<int> weeks;
     std::vector<std::set<std::string>> cert_sets;
@@ -902,6 +947,16 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
         obs.non_default_port += partial.non_default_port;
         obs.deficient += partial.deficient;
         obs.reuse_devices += partial.reuse_devices;
+        ScanQualityWeek& q = quality_weeks[week];
+        q.hosts += partial.q_hosts;
+        q.complete += partial.q_complete;
+        q.truncated += partial.q_truncated;
+        q.degraded += partial.q_degraded;
+        q.unreachable += partial.q_unreachable;
+        q.faulted += partial.q_faulted;
+        q.recovered += partial.q_recovered;
+        q.retries += partial.q_retries;
+        q.fault_events += partial.q_fault_events;
         merge_count_map(obs.by_manufacturer, partial.by_manufacturer);
         for (auto& [fp, info] : partial.corpus) total.corpus.try_emplace(fp, info);
         const int measurement_index = analysis.weeks[week].measurement_index;
@@ -951,6 +1006,27 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   for (auto& [key, row] : total.auth_rows) analysis.auth.rows.push_back(row);
   analysis.access_rights = std::move(total.access);
   analysis.deficits = std::move(total.deficits);
+
+  // ---- finalize: scan quality -------------------------------------------
+  ScanQualityStats& quality = analysis.scan_quality;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    ScanQualityWeek& q = quality_weeks[w];
+    q.measurement_index = analysis.weeks[w].measurement_index;
+    quality.hosts += q.hosts;
+    quality.complete += q.complete;
+    quality.truncated += q.truncated;
+    quality.degraded += q.degraded;
+    quality.unreachable += q.unreachable;
+    quality.faulted += q.faulted;
+    quality.recovered += q.recovered;
+    quality.retries += q.retries;
+    quality.fault_events += q.fault_events;
+    quality.weeks.push_back(std::move(q));
+  }
+  if (quality.faulted > 0) {
+    quality.recovery_rate =
+        static_cast<double>(quality.recovered) / static_cast<double>(quality.faulted);
+  }
 
   // ---- finalize: Fig. 2 / §5.5 longitudinal -----------------------------
   LongitudinalStats& lng = analysis.longitudinal;

@@ -40,6 +40,36 @@ struct AnalysisOptions {
   std::uint32_t chunk_records = SnapshotWriter::kDefaultChunkRecords;
 };
 
+/// Scan-quality tallies of one measurement: how completely the grabs ran
+/// once fault injection (netsim/faults.hpp) is in play. All-zero fault
+/// counters and all-complete grades on fault-free data.
+struct ScanQualityWeek {
+  int measurement_index = 0;
+  std::uint64_t hosts = 0;        // records, including discovery servers
+  std::uint64_t complete = 0;     // per ProbeOutcome grade
+  std::uint64_t truncated = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t faulted = 0;      // hosts that saw >= 1 injected fault
+  std::uint64_t recovered = 0;    // faulted hosts still graded complete
+  std::uint64_t retries = 0;      // retry attempts across all hosts
+  std::uint64_t fault_events = 0; // injected faults across all hosts
+
+  friend bool operator==(const ScanQualityWeek&, const ScanQualityWeek&) = default;
+};
+
+/// Scan-quality section of a study: per-week tallies plus study totals.
+struct ScanQualityStats {
+  std::vector<ScanQualityWeek> weeks;
+  std::uint64_t hosts = 0, complete = 0, truncated = 0, degraded = 0, unreachable = 0;
+  std::uint64_t faulted = 0, recovered = 0, retries = 0, fault_events = 0;
+  /// recovered / faulted; 1.0 when nothing faulted (a fault-free campaign
+  /// trivially recovered everything).
+  double recovery_rate = 1.0;
+
+  friend bool operator==(const ScanQualityStats&, const ScanQualityStats&) = default;
+};
+
 /// Every statistic the benches/examples render, computed together.
 /// Figure/table members cover the final measurement (the paper's headline
 /// 2020-08-30 snapshot); `longitudinal` covers all measurements.
@@ -54,6 +84,7 @@ struct StudyAnalysis {
   AccessRightsStats access_rights;    // Fig. 7
   DeficitBreakdown deficits;          // Fig. 8
   LongitudinalStats longitudinal;     // Fig. 2 / §5.5
+  ScanQualityStats scan_quality;      // fault/retry/recovery rates
 
   double shared_prime_seconds = 0;  // batch-GCD wall time, 0 if skipped
 

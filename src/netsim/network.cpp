@@ -1,5 +1,7 @@
 #include "netsim/network.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace opcua_study {
@@ -33,15 +35,41 @@ bool Network::syn_probe(Ipv4 ip, std::uint16_t port) {
   return is_listening(ip, port);
 }
 
-std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port, ConnMode mode) {
+std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port, ConnMode mode,
+                                                ConnectFault* fault) {
+  if (fault != nullptr) *fault = ConnectFault::None;
   const auto it = listeners_.find(key(ip, port));
   if (it == listeners_.end()) {
     if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // RST after one RTT
     return nullptr;
   }
+  FaultPlan::Endpoint* ep = nullptr;
+  if (fault_plan_ != nullptr && fault_plan_->profile().enabled()) {
+    ep = &fault_plan_->endpoint(ip, port);
+    const FaultProfile& profile = fault_plan_->profile();
+    if (ep->rng.chance(profile.connect_drop)) {
+      if (fault != nullptr) *fault = ConnectFault::SynDrop;
+      if (mode == ConnMode::Blocking) clock_.advance_us(profile.connect_timeout_us);
+      return nullptr;
+    }
+    if (ep->rng.chance(profile.listener_flap)) {
+      if (fault != nullptr) *fault = ConnectFault::Flap;
+      if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // RST
+      return nullptr;
+    }
+  }
   if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // three-way handshake
   auto conn = std::make_unique<NetConnection>(*this, ip, it->second(), mode);
   if (mode == ConnMode::Deferred) conn->charge(rtt_us(ip));  // handshake, deferred
+  if (ep != nullptr) {
+    const FaultProfile& profile = fault_plan_->profile();
+    conn->faults_ = ep;
+    conn->fault_profile_ = &profile;
+    if (ep->rng.chance(profile.reset)) {
+      conn->reset_after_ = static_cast<std::uint32_t>(
+          ep->rng.range(profile.reset_after_min, profile.reset_after_max));
+    }
+  }
   return conn;
 }
 
@@ -67,12 +95,34 @@ void NetConnection::charge(std::uint64_t us) {
 }
 
 Bytes NetConnection::roundtrip(const Bytes& request) {
+  if (faults_ != nullptr && reset_after_ == 0) {
+    handler_.reset();
+    ++faults_injected_;
+    throw NetReset("connection reset by peer (injected fault)");
+  }
   if (handler_ == nullptr || handler_->closed()) {
     throw DecodeError("connection closed by peer");
   }
   bytes_sent_ += request.size();
   net_.total_bytes_sent_ += request.size();
-  charge(net_.rtt_us(peer_) + request.size() / 10);  // ~10 MB/s path
+  std::uint64_t cost = net_.rtt_us(peer_) + request.size() / 10;  // ~10 MB/s path
+  bool stall = false;
+  bool truncate = false;
+  if (faults_ != nullptr) {
+    // Two draws per exchange, always, so the endpoint stream stays aligned
+    // no matter which faults fire.
+    stall = faults_->rng.chance(fault_profile_->stall);
+    truncate = faults_->rng.chance(fault_profile_->truncate);
+  }
+  if (stall) cost += fault_profile_->stall_us;
+  if (request_timeout_us_ != 0 && cost > request_timeout_us_) {
+    charge(request_timeout_us_);
+    handler_.reset();  // the client aborts: the stream is desynced
+    ++faults_injected_;
+    throw NetTimeout("request timed out after " + std::to_string(request_timeout_us_ / 1000) +
+                     " ms");
+  }
+  charge(cost);
   Bytes response = handler_->on_message(request);
   if (response.empty()) {
     handler_.reset();
@@ -81,6 +131,15 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
   bytes_received_ += response.size();
   net_.total_bytes_received_ += response.size();
   charge(response.size() / 10);
+  if (truncate) {
+    // Garble the reply down to a prefix too short for a UA message header:
+    // the client always surfaces a decode failure, never bad data.
+    const std::uint64_t cap = std::min<std::uint64_t>(response.size(), 15);
+    response.resize(1 + static_cast<std::size_t>(faults_->rng.below(cap)));
+    response[0] ^= 0xA5;
+    ++faults_injected_;
+  }
+  if (reset_after_ != kNoReset) --reset_after_;
   return response;
 }
 

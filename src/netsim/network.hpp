@@ -21,6 +21,7 @@
 #include "netsim/asdb.hpp"
 #include "netsim/clock.hpp"
 #include "netsim/event.hpp"
+#include "netsim/faults.hpp"
 #include "opcua/transport.hpp"
 #include "util/ipv4.hpp"
 
@@ -41,6 +42,15 @@ class NetConnection;
 
 /// How a connection charges simulated time (see file comment).
 enum class ConnMode { Blocking, Deferred };
+
+/// Why a connect() returned nullptr when a FaultPlan is active. The caller
+/// needs the distinction: fault-driven refusals are retryable (the service
+/// exists), a genuinely closed port is not.
+enum class ConnectFault : std::uint8_t {
+  None = 0,  // no fault: the nullptr means the port really is closed
+  SynDrop,   // SYN silently dropped — costs the connect timeout
+  Flap,      // listener flapped away — RST after one RTT
+};
 
 class Network {
  public:
@@ -68,8 +78,18 @@ class Network {
   /// Deferred mode charges the handshake to the connection's accumulator
   /// and leaves the global clock untouched — a refused deferred connect
   /// charges nothing, the caller accounts the RST RTT itself.
+  ///
+  /// With a FaultPlan installed, a connect attempt may be dropped or
+  /// refused by an injected fault; `fault` (when non-null) reports why.
   std::unique_ptr<NetConnection> connect(Ipv4 ip, std::uint16_t port,
-                                         ConnMode mode = ConnMode::Blocking);
+                                         ConnMode mode = ConnMode::Blocking,
+                                         ConnectFault* fault = nullptr);
+
+  /// Attach (or clear) a deterministic fault plan. Without one — or with a
+  /// profile whose probabilities are all zero — no RNG stream is ever
+  /// consulted and behavior is bit-identical to the fault-free network.
+  void set_fault_plan(std::unique_ptr<FaultPlan> plan) { fault_plan_ = std::move(plan); }
+  FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
   /// All bound (ip, port) pairs — the "oracle sweep" ground truth used by
   /// the benches in place of a multi-minute 2^32 LFSR walk (see DESIGN.md).
@@ -92,6 +112,7 @@ class Network {
   EventScheduler scheduler_{clock_};
   AsDatabase as_db_;
   std::unordered_map<std::uint64_t, HandlerFactory> listeners_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   std::uint64_t total_bytes_sent_ = 0;
   std::uint64_t total_bytes_received_ = 0;
 };
@@ -122,8 +143,19 @@ class NetConnection : public MessageTransport {
     return elapsed;
   }
 
+  /// Per-request timeout budget: an exchange whose simulated cost would
+  /// exceed this charges exactly the timeout and throws NetTimeout (the
+  /// connection is then desynced and dead). 0 = no timeout.
+  void set_request_timeout_us(std::uint64_t us) { request_timeout_us_ = us; }
+
+  /// Number of injected faults that fired on this connection (resets,
+  /// timeouts, truncated replies). Lets the scan task tell a fault-driven
+  /// protocol failure (retryable) from a genuine rejection.
+  std::uint32_t faults_injected() const { return faults_injected_; }
+
  private:
   friend class Network;  // pre-charges the deferred handshake RTT
+  static constexpr std::uint32_t kNoReset = 0xffffffff;
   void charge(std::uint64_t us);
 
   Network& net_;
@@ -133,6 +165,11 @@ class NetConnection : public MessageTransport {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t deferred_elapsed_us_ = 0;
+  FaultPlan::Endpoint* faults_ = nullptr;      // null = no injection
+  const FaultProfile* fault_profile_ = nullptr;
+  std::uint32_t reset_after_ = kNoReset;       // exchanges until injected RST
+  std::uint64_t request_timeout_us_ = 0;
+  std::uint32_t faults_injected_ = 0;
 };
 
 /// A non-OPC-UA service occupying port 4840 (the paper: only 0.5 ‰ of hosts

@@ -28,9 +28,23 @@ struct EthicsBudget {
   std::uint64_t max_host_bytes = 50 * 1000 * 1000;  // 50 MB outgoing limit
 };
 
+/// Resilience knobs for fault-injected networks. Backoff for retry k
+/// (1-based) is base * multiplier^(k-1) plus a deterministic jitter drawn
+/// from the task's own RNG stream — identical across thread counts. On a
+/// fault-free network none of this machinery ever engages.
+struct RetryPolicy {
+  int max_attempts = 4;                   // attempts per unit of work
+  std::uint16_t max_host_retries = 16;    // total retry budget per host
+  std::uint64_t request_timeout_ms = 10'000;  // per-request budget (task time)
+  std::uint64_t backoff_base_ms = 250;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_jitter_ms = 100;  // uniform [0, jitter] added per retry
+};
+
 struct GrabberConfig {
   ClientConfig client;
   EthicsBudget budget;
+  RetryPolicy retry;
   bool traverse_address_space = true;
   std::uint32_t browse_chunk = 64;  // max references per Browse answer
 };

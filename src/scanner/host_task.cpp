@@ -32,7 +32,16 @@ std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& u
 
 HostGrabTask::HostGrabTask(const GrabberConfig& config, Network& network, std::uint64_t seed,
                            std::uint64_t task_id, Ipv4 ip, std::uint16_t port)
-    : config_(config), network_(network), seed_(seed), task_id_(task_id), ip_(ip), port_(port) {
+    : config_(config),
+      network_(network),
+      seed_(seed),
+      task_id_(task_id),
+      ip_(ip),
+      port_(port),
+      // Keyed by endpoint, not task id: task ids depend on sweep order and
+      // shard layout, and retry jitter must not (fault streams are
+      // endpoint-keyed for the same reason, see netsim/faults.hpp).
+      retry_rng_(Rng(seed).child("retry-" + format_ipv4(ip) + ":" + std::to_string(port))) {
   record_.ip = ip;
   record_.port = port;
   record_.asn = network_.as_db().asn_of(ip);
@@ -42,6 +51,7 @@ HostGrabTask::HostGrabTask(const GrabberConfig& config, Network& network, std::u
 HostGrabTask::~HostGrabTask() = default;
 
 HostGrabTask::Step HostGrabTask::yield(std::uint64_t pace_us, Phase next) {
+  attempt_ = 0;  // a unit of work completed: the per-unit retry budget resets
   const std::uint64_t wait = consumed_us_ + pace_us;
   elapsed_us_ += wait;
   consumed_us_ = 0;
@@ -50,6 +60,7 @@ HostGrabTask::Step HostGrabTask::yield(std::uint64_t pace_us, Phase next) {
 }
 
 HostGrabTask::Step HostGrabTask::finish(bool with_duration) {
+  if (conn_ != nullptr) fresh_fault();  // bank any unaccounted injected faults
   const std::uint64_t wait = consumed_us_;
   elapsed_us_ += wait;
   consumed_us_ = 0;
@@ -82,26 +93,167 @@ const EndpointObservation* HostGrabTask::strongest_endpoint() const {
   return best;
 }
 
-HostGrabTask::Step HostGrabTask::step() {
+// ---------------------------------------------------------- fault plumbing
+
+void HostGrabTask::note_faults(std::uint32_t n) {
+  const std::uint32_t total = record_.fault_events + n;
+  record_.fault_events = total > 0xffff ? 0xffff : static_cast<std::uint16_t>(total);
+}
+
+bool HostGrabTask::fresh_fault() {
+  if (conn_ == nullptr) return false;
+  const std::uint32_t now = conn_->faults_injected();
+  if (now > conn_faults_seen_) {
+    note_faults(now - conn_faults_seen_);
+    conn_faults_seen_ = now;
+    return true;
+  }
+  return false;
+}
+
+void HostGrabTask::degrade(ProbeOutcome grade) {
+  if (static_cast<std::uint8_t>(grade) > static_cast<std::uint8_t>(record_.completeness)) {
+    record_.completeness = grade;
+  }
+}
+
+bool HostGrabTask::can_retry() const {
+  return attempt_ + 1 < config_.retry.max_attempts &&
+         record_.retries < config_.retry.max_host_retries;
+}
+
+std::uint64_t HostGrabTask::backoff_us() {
+  const RetryPolicy& policy = config_.retry;
+  double ms = static_cast<double>(policy.backoff_base_ms);
+  for (int i = 1; i < attempt_; ++i) ms *= policy.backoff_multiplier;
+  const std::uint64_t jitter_ms =
+      policy.backoff_jitter_ms > 0 ? retry_rng_.below(policy.backoff_jitter_ms + 1) : 0;
+  return static_cast<std::uint64_t>(ms * 1000.0) + jitter_ms * 1000;
+}
+
+std::uint64_t HostGrabTask::connect_timeout_us() const {
+  const FaultPlan* plan = network_.fault_plan();
+  return plan != nullptr ? plan->profile().connect_timeout_us : 5'000'000;
+}
+
+void HostGrabTask::reset_discovery_state() {
+  record_.speaks_opcua = false;
+  record_.endpoints.clear();
+  record_.referenced_targets.clear();
+  record_.application_uri.clear();
+  record_.product_uri.clear();
+  record_.application_name.clear();
+  record_.application_type = ApplicationType::Server;
+  record_.anonymous_offered = false;
+}
+
+void HostGrabTask::reset_probe_state() {
+  record_.channel = ChannelOutcome::not_attempted;
+  record_.channel_policy = SecurityPolicy::None;
+  record_.channel_mode = MessageSecurityMode::None;
+  record_.server_signature_valid = false;
+  record_.session = SessionOutcome::not_attempted;
+}
+
+HostGrabTask::Step HostGrabTask::retry_to(Phase next, bool drop_connection) {
+  if (drop_connection && conn_ != nullptr) {
+    charge(*conn_);
+    fresh_fault();
+    record_.bytes_sent += conn_->bytes_sent();
+    client_.reset();
+    conn_.reset();
+    conn_faults_seen_ = 0;
+  }
+  ++attempt_;
+  if (record_.retries < 0xffff) ++record_.retries;
+  if (next == Phase::Discovery) reset_discovery_state();
+  if (next == Phase::SecureProbe) reset_probe_state();
+  const std::uint64_t wait = consumed_us_ + backoff_us();
+  elapsed_us_ += wait;
+  consumed_us_ = 0;
+  phase_ = next;
+  return Step{wait, false};
+}
+
+HostGrabTask::Step HostGrabTask::give_up() {
+  if (conn_ != nullptr) {
+    charge(*conn_);
+    fresh_fault();
+    record_.bytes_sent += conn_->bytes_sent();
+    client_.reset();
+    conn_.reset();
+  }
   switch (phase_) {
-    case Phase::Discovery: return step_discovery();
-    case Phase::SecureProbe: return step_secure_probe();
-    case Phase::ReadNamespaces: return step_read_namespaces();
-    case Phase::ReadVersion: return step_read_version();
-    case Phase::TraverseBrowse: return traverse_loop(/*browse_first=*/true);
-    case Phase::TraverseRead: return step_traverse_read();
-    case Phase::Done: break;
+    case Phase::Discovery:
+      degrade(record_.speaks_opcua ? ProbeOutcome::degraded : ProbeOutcome::unreachable);
+      return finish(/*with_duration=*/record_.tcp_open);
+    case Phase::SecureProbe:
+      degrade(ProbeOutcome::degraded);
+      return finish(/*with_duration=*/true);
+    default:
+      // Mid-assessment: whatever was collected before the faults stands.
+      degrade(ProbeOutcome::truncated);
+      return finish(/*with_duration=*/true);
+  }
+}
+
+HostGrabTask::Step HostGrabTask::on_net_fault() {
+  Phase target;
+  switch (phase_) {
+    case Phase::Discovery: target = Phase::Discovery; break;
+    case Phase::SecureProbe: target = Phase::SecureProbe; break;
+    case Phase::Reconnect: target = Phase::Reconnect; break;
+    default:
+      resume_phase_ = phase_;
+      target = Phase::Reconnect;
+      break;
+  }
+  if (!can_retry()) return give_up();
+  return retry_to(target, /*drop_connection=*/true);
+}
+
+HostGrabTask::Step HostGrabTask::reconnect_failed() {
+  if (fresh_fault() && can_retry()) {
+    return retry_to(Phase::Reconnect, /*drop_connection=*/true);
+  }
+  return give_up();  // phase_ == Reconnect grades the record `truncated`
+}
+
+HostGrabTask::Step HostGrabTask::step() {
+  try {
+    switch (phase_) {
+      case Phase::Discovery: return step_discovery();
+      case Phase::SecureProbe: return step_secure_probe();
+      case Phase::ReadNamespaces: return step_read_namespaces();
+      case Phase::ReadVersion: return step_read_version();
+      case Phase::TraverseBrowse: return traverse_loop(/*browse_first=*/true);
+      case Phase::TraverseRead: return step_traverse_read();
+      case Phase::Reconnect: return step_reconnect();
+      case Phase::Done: break;
+    }
+  } catch (const NetFault&) {
+    return on_net_fault();
   }
   return Step{0, true};
 }
 
 HostGrabTask::Step HostGrabTask::step_discovery() {
-  conn_ = network_.connect(ip_, port_, ConnMode::Deferred);
+  ConnectFault connect_fault = ConnectFault::None;
+  conn_ = network_.connect(ip_, port_, ConnMode::Deferred, &connect_fault);
   if (!conn_) {
+    if (connect_fault != ConnectFault::None) {
+      note_faults(1);
+      consumed_us_ += connect_fault == ConnectFault::SynDrop ? connect_timeout_us()
+                                                             : network_.rtt_us(ip_);
+      if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/false);
+      return give_up();
+    }
     consumed_us_ += network_.rtt_us(ip_);  // RST after one RTT
     return finish(/*with_duration=*/false);
   }
   record_.tcp_open = true;
+  conn_faults_seen_ = 0;
+  conn_->set_request_timeout_us(config_.retry.request_timeout_ms * 1000);
   charge(*conn_);  // three-way handshake
 
   client_ = std::make_unique<Client>(config_.client, *conn_,
@@ -109,17 +261,33 @@ HostGrabTask::Step HostGrabTask::step_discovery() {
   const StatusCode hello_status = client_->hello(url_);
   charge(*conn_);
   if (hello_status != StatusCode::Good) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/true);
+      return give_up();
+    }
     return finish(/*with_duration=*/true);  // not an OPC UA speaker
   }
   const StatusCode open_status =
       client_->open_channel(SecurityPolicy::None, MessageSecurityMode::None);
   charge(*conn_);
-  if (open_status != StatusCode::Good) return finish(/*with_duration=*/false);
+  if (open_status != StatusCode::Good) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/true);
+      return give_up();
+    }
+    return finish(/*with_duration=*/false);
+  }
 
   std::vector<EndpointDescription> endpoints;
   const StatusCode endpoints_status = client_->get_endpoints(url_, endpoints);
   charge(*conn_);
-  if (endpoints_status != StatusCode::Good) return finish(/*with_duration=*/false);
+  if (endpoints_status != StatusCode::Good) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/true);
+      return give_up();
+    }
+    return finish(/*with_duration=*/false);
+  }
   record_.speaks_opcua = true;
 
   for (const auto& ep : endpoints) {
@@ -148,8 +316,13 @@ HostGrabTask::Step HostGrabTask::step_discovery() {
     }
   }
   record_.bytes_sent += conn_->bytes_sent();
-  client_->close_channel();
+  try {
+    client_->close_channel();
+  } catch (const NetFault&) {
+    // A fault on the goodbye costs nothing: everything is already recorded.
+  }
   charge(*conn_);
+  fresh_fault();
   client_.reset();
   conn_.reset();
 
@@ -172,17 +345,33 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
   const EndpointObservation* best = strongest_endpoint();
   assess_start_us_ = elapsed_us_;
 
-  conn_ = network_.connect(ip_, port_, ConnMode::Deferred);
+  ConnectFault connect_fault = ConnectFault::None;
+  conn_ = network_.connect(ip_, port_, ConnMode::Deferred, &connect_fault);
   if (!conn_) {
+    if (connect_fault != ConnectFault::None) {
+      note_faults(1);
+      consumed_us_ += connect_fault == ConnectFault::SynDrop ? connect_timeout_us()
+                                                             : network_.rtt_us(ip_);
+      if (can_retry()) return retry_to(Phase::SecureProbe, /*drop_connection=*/false);
+      return give_up();
+    }
     consumed_us_ += network_.rtt_us(ip_);
     return finish(/*with_duration=*/true);
   }
+  conn_faults_seen_ = 0;
+  conn_->set_request_timeout_us(config_.retry.request_timeout_ms * 1000);
   charge(*conn_);
   client_ = std::make_unique<Client>(config_.client, *conn_,
                                      Rng(seed_).child("sess-" + std::to_string(task_id_)));
   const StatusCode hello_status = client_->hello(url_);
   charge(*conn_);
-  if (hello_status != StatusCode::Good) return finish(/*with_duration=*/true);
+  if (hello_status != StatusCode::Good) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::SecureProbe, /*drop_connection=*/true);
+      return give_up();
+    }
+    return finish(/*with_duration=*/true);
+  }
 
   const StatusCode channel_status =
       client_->open_channel(best->policy, best->mode, best->certificate_der);
@@ -190,6 +379,10 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
   record_.channel_policy = best->policy;
   record_.channel_mode = best->mode;
   if (is_bad(channel_status)) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::SecureProbe, /*drop_connection=*/true);
+      return give_up();
+    }
     record_.channel = best->policy == SecurityPolicy::None ? ChannelOutcome::failed
                                                            : ChannelOutcome::cert_rejected;
     record_.session = SessionOutcome::channel_rejected;
@@ -210,6 +403,10 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
     charge(*conn_);
   }
   if (is_bad(status)) {
+    if (fresh_fault()) {
+      if (can_retry()) return retry_to(Phase::SecureProbe, /*drop_connection=*/true);
+      return give_up();
+    }
     record_.session = SessionOutcome::auth_rejected;
     record_.bytes_sent += conn_->bytes_sent();
     return finish(/*with_duration=*/true);
@@ -221,22 +418,79 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
   return yield(config_.budget.inter_request_ms * 1000, Phase::ReadNamespaces);
 }
 
+HostGrabTask::Step HostGrabTask::step_reconnect() {
+  ConnectFault connect_fault = ConnectFault::None;
+  conn_ = network_.connect(ip_, port_, ConnMode::Deferred, &connect_fault);
+  if (!conn_) {
+    if (connect_fault != ConnectFault::None) {
+      note_faults(1);
+      consumed_us_ += connect_fault == ConnectFault::SynDrop ? connect_timeout_us()
+                                                             : network_.rtt_us(ip_);
+      if (can_retry()) return retry_to(Phase::Reconnect, /*drop_connection=*/false);
+      return give_up();
+    }
+    // The listener is genuinely gone mid-assessment.
+    consumed_us_ += network_.rtt_us(ip_);
+    degrade(ProbeOutcome::truncated);
+    return finish(/*with_duration=*/true);
+  }
+  conn_faults_seen_ = 0;
+  conn_->set_request_timeout_us(config_.retry.request_timeout_ms * 1000);
+  charge(*conn_);
+  ++reconnects_;
+  client_ = std::make_unique<Client>(
+      config_.client, *conn_,
+      Rng(seed_).child("sess-" + std::to_string(task_id_) + "-r" + std::to_string(reconnects_)));
+
+  const EndpointObservation* best = strongest_endpoint();
+  const StatusCode hello_status = client_->hello(url_);
+  charge(*conn_);
+  if (hello_status != StatusCode::Good) return reconnect_failed();
+
+  const StatusCode channel_status =
+      client_->open_channel(best->policy, best->mode, best->certificate_der);
+  charge(*conn_);
+  if (is_bad(channel_status)) return reconnect_failed();
+
+  // Re-establish the anonymous session; the original probe's verdicts
+  // (server_signature_valid, session outcome) are already recorded and are
+  // deliberately not overwritten here.
+  Client::SessionInfo info;
+  StatusCode status = client_->create_session(&info);
+  charge(*conn_);
+  if (is_good(status)) {
+    status = client_->activate_session_anonymous();
+    charge(*conn_);
+  }
+  if (is_bad(status)) return reconnect_failed();
+
+  return yield(config_.budget.inter_request_ms * 1000, resume_phase_);
+}
+
 HostGrabTask::Step HostGrabTask::step_read_namespaces() {
   std::vector<std::string> namespaces;
-  if (client_->read_string_array(node_ids::kNamespaceArray, namespaces) == StatusCode::Good) {
-    record_.namespaces = std::move(namespaces);
-  }
+  const StatusCode status = client_->read_string_array(node_ids::kNamespaceArray, namespaces);
   charge(*conn_);
+  if (status == StatusCode::Good) {
+    record_.namespaces = std::move(namespaces);
+  } else if (fresh_fault()) {
+    // The connection survived (garbled reply): retry the read in place.
+    if (!can_retry()) return give_up();
+    return retry_to(Phase::ReadNamespaces, /*drop_connection=*/false);
+  }
   return yield(config_.budget.inter_request_ms * 1000, Phase::ReadVersion);
 }
 
 HostGrabTask::Step HostGrabTask::step_read_version() {
   DataValue sv;
-  if (client_->read(node_ids::kSoftwareVersion, AttributeId::Value, sv) == StatusCode::Good &&
-      sv.value.is<std::string>()) {
-    record_.software_version = sv.value.as<std::string>();
-  }
+  const StatusCode status = client_->read(node_ids::kSoftwareVersion, AttributeId::Value, sv);
   charge(*conn_);
+  if (status == StatusCode::Good && sv.value.is<std::string>()) {
+    record_.software_version = sv.value.as<std::string>();
+  } else if (status != StatusCode::Good && fresh_fault()) {
+    if (!can_retry()) return give_up();
+    return retry_to(Phase::ReadVersion, /*drop_connection=*/false);
+  }
   if (!config_.traverse_address_space) return finish_assess();
 
   // Breadth-first walk from the Objects folder, reading the anonymous
@@ -252,10 +506,15 @@ HostGrabTask::Step HostGrabTask::traverse_loop(bool browse_first) {
   if (browse_first) {
     refs_.clear();
     ref_index_ = 0;
-    if (client_->browse(current_node_, refs_, config_.browse_chunk) != StatusCode::Good) {
-      refs_.clear();
-    }
+    const StatusCode status = client_->browse(current_node_, refs_, config_.browse_chunk);
     charge(*conn_);
+    if (status != StatusCode::Good) {
+      refs_.clear();
+      if (fresh_fault()) {
+        if (!can_retry()) return give_up();
+        return retry_to(Phase::TraverseBrowse, /*drop_connection=*/false);
+      }
+    }
   }
   for (;;) {
     // Inner loop: walk the reference list of the current node.
@@ -295,7 +554,9 @@ HostGrabTask::Step HostGrabTask::traverse_loop(bool browse_first) {
 
 HostGrabTask::Step HostGrabTask::step_traverse_read() {
   DataValue dv;
-  if (client_->read(refs_[ref_index_].node_id, pending_attr_, dv) == StatusCode::Good) {
+  const StatusCode status = client_->read(refs_[ref_index_].node_id, pending_attr_, dv);
+  charge(*conn_);
+  if (status == StatusCode::Good) {
     if (pending_attr_ == AttributeId::UserAccessLevel && dv.value.is<std::uint32_t>()) {
       const auto level = dv.value.as<std::uint32_t>();
       pending_obs_.readable = level & access_level::kCurrentRead;
@@ -303,8 +564,10 @@ HostGrabTask::Step HostGrabTask::step_traverse_read() {
     } else if (pending_attr_ == AttributeId::UserExecutable && dv.value.is<bool>()) {
       pending_obs_.executable = dv.value.as<bool>();
     }
+  } else if (fresh_fault()) {
+    if (!can_retry()) return give_up();
+    return retry_to(Phase::TraverseRead, /*drop_connection=*/false);
   }
-  charge(*conn_);
   record_.nodes.push_back(pending_obs_);
   queue_.push_back(refs_[ref_index_].node_id);
   ++ref_index_;
@@ -313,7 +576,11 @@ HostGrabTask::Step HostGrabTask::step_traverse_read() {
 
 HostGrabTask::Step HostGrabTask::finish_assess() {
   record_.bytes_sent += conn_->bytes_sent();
-  client_->close_channel();
+  try {
+    client_->close_channel();
+  } catch (const NetFault&) {
+    // Assessment is complete; a fault on the goodbye changes nothing.
+  }
   charge(*conn_);
   return finish(/*with_duration=*/true);
 }

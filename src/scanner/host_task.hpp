@@ -15,6 +15,17 @@
 // Every budget decision (500 ms pacing, 60 min / 50 MB caps, §A.2) is made
 // against the task's *local* timeline, which makes a host's record — bytes,
 // duration, truncation — independent of how many other hosts are in flight.
+//
+// On a fault-injected Network (netsim/faults.hpp) the task is resilient:
+// every request runs under a per-request timeout budget, failures that the
+// connection attributes to injected faults are retried with exponential
+// backoff plus deterministic jitter (drawn from the endpoint-keyed
+// "retry-<ip>:<port>" stream), a mid-assessment reset reconnects and
+// resumes the traversal
+// where it left off, and hosts that exhaust their retry budget finish with
+// a graded ProbeOutcome instead of a crash. None of this machinery draws
+// RNG or charges time on a fault-free network, so fault-free records stay
+// byte-identical to the pre-fault engine.
 #pragma once
 
 #include <deque>
@@ -26,6 +37,7 @@
 #include "opcua/client.hpp"
 #include "scanner/grabber.hpp"
 #include "scanner/record.hpp"
+#include "util/rng.hpp"
 
 namespace opcua_study {
 
@@ -73,6 +85,7 @@ class HostGrabTask {
     ReadVersion,     // paced SoftwareVersion read
     TraverseBrowse,  // paced Browse of the current node
     TraverseRead,    // paced UserAccessLevel / UserExecutable read
+    Reconnect,       // re-establish channel + session, then resume_phase_
     Done,
   };
 
@@ -84,6 +97,29 @@ class HostGrabTask {
   /// paced Browse wake-up.
   Step traverse_loop(bool browse_first);
   Step step_traverse_read();
+  Step step_reconnect();
+
+  // ---- fault resilience (no-ops on a fault-free network) ----
+  /// Schedule a retry of `next` after the backoff delay. When
+  /// `drop_connection`, the current connection's time/bytes/faults are
+  /// banked first and the client is torn down.
+  Step retry_to(Phase next, bool drop_connection);
+  /// A NetTimeout/NetReset escaped the current phase: pick the retry target
+  /// (same phase, or Reconnect for mid-assessment faults) or give up.
+  Step on_net_fault();
+  /// Retry budget exhausted: grade the record by how far we got and finish.
+  Step give_up();
+  Step reconnect_failed();
+  bool can_retry() const;
+  std::uint64_t backoff_us();
+  std::uint64_t connect_timeout_us() const;
+  /// True (and banks the count) when the connection saw injected faults we
+  /// have not yet accounted — the signal that a bad status is retryable.
+  bool fresh_fault();
+  void note_faults(std::uint32_t n);
+  void degrade(ProbeOutcome grade);
+  void reset_discovery_state();
+  void reset_probe_state();
 
   /// Move the connection's deferred time into this step's consumption.
   void charge(NetConnection& conn) { consumed_us_ += conn.take_elapsed(); }
@@ -107,6 +143,14 @@ class HostGrabTask {
   std::uint64_t elapsed_us_ = 0;        // task-local clock
   std::uint64_t consumed_us_ = 0;       // charged during the current step
   std::uint64_t assess_start_us_ = 0;   // elapsed_us_ when SecureProbe began
+
+  // Retry state. retry_rng_ is the endpoint-keyed "retry-<ip>:<port>"
+  // jitter stream; it is only ever drawn when a retry actually happens.
+  Rng retry_rng_;
+  int attempt_ = 0;                     // retries spent on the current unit
+  Phase resume_phase_ = Phase::Done;    // where Reconnect returns to
+  std::uint32_t conn_faults_seen_ = 0;  // faults already banked on conn_
+  std::uint32_t reconnects_ = 0;        // feeds the re-probe RNG stream label
 
   std::unique_ptr<NetConnection> conn_;  // declared before client_: client
   std::unique_ptr<Client> client_;       // holds a reference to *conn_

@@ -34,6 +34,17 @@ enum class ChannelOutcome {
   failed,          // other transport/crypto failure
 };
 
+/// How completely a host was scanned once fault injection (netsim/faults.hpp)
+/// is in play. Graded worst-wins: a record keeps the most severe grade any
+/// phase earned. Fault-free scans always stay `complete` (and the snapshot
+/// encoding omits the field entirely), so pre-fault outputs are unchanged.
+enum class ProbeOutcome : std::uint8_t {
+  complete = 0,     // every phase finished (possibly after retries)
+  truncated = 1,    // assessment cut short by faults: partial traversal/reads
+  degraded = 2,     // a whole phase (e.g. secure probe) lost to faults
+  unreachable = 3,  // host answered the sweep but the grab never got through
+};
+
 enum class SessionOutcome {
   not_attempted,    // no anonymous token advertised, or no channel
   accessible,       // anonymous session activated; address space traversed
@@ -82,6 +93,11 @@ struct HostScanRecord {
   std::vector<std::string> namespaces;
   std::vector<NodeObservation> nodes;
   bool traversal_truncated = false;
+
+  // Scan-quality fields (all zero on a fault-free network; see ProbeOutcome).
+  ProbeOutcome completeness = ProbeOutcome::complete;
+  std::uint16_t retries = 0;       // retry attempts spent on this host
+  std::uint16_t fault_events = 0;  // injected faults observed (saturating)
 
   std::uint64_t bytes_sent = 0;
   double duration_seconds = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
@@ -72,6 +73,15 @@ double lef64(const std::uint8_t* p) {
 }
 
 void write_host(UaWriter& w, const HostScanRecord& host) {
+  // The row formats predate fault injection and have no slot for the
+  // scan-quality fields; silently dropping them would make a v5 round
+  // trip lossy, so refuse instead (fault-free records always pass).
+  if (host.completeness != ProbeOutcome::complete || host.retries != 0 ||
+      host.fault_events != 0) {
+    throw SnapshotError(
+        "v5/v4 snapshot formats cannot encode scan-quality fields; "
+        "write fault-injected campaigns as v6");
+  }
   w.u32(host.ip);
   w.u16(host.port);
   w.u32(host.asn);
@@ -388,6 +398,19 @@ HostScanRecord read_host_v6(const SnapshotReader& reader, const V6Layout& lay, s
     node.executable = access & 0x4;
     host.nodes.push_back(std::move(node));
   }
+  if (flags & snapshot_flags::kScanQuality) {
+    const std::uint8_t completeness = r.byte();
+    if (completeness > 3) {
+      throw DecodeError("snapshot record: invalid completeness value " +
+                        std::to_string(completeness));
+    }
+    host.completeness = static_cast<ProbeOutcome>(completeness);
+    host.retries = r.u16();
+    host.fault_events = r.u16();
+    if (completeness == 0 && host.retries == 0 && host.fault_events == 0) {
+      throw DecodeError("snapshot record: all-zero scan-quality tail (non-canonical)");
+    }
+  }
   if (!r.done()) throw DecodeError("var record longer than its fields");
 
   // Cross-check every derived representation against the decoded record.
@@ -591,8 +614,11 @@ SnapshotWriter::SnapshotWriter(const std::string& path, std::uint64_t seed,
                         std::to_string(format_version_) + ": " + path);
   }
   if (format_version_ == kVersionV6) cols_ = std::make_unique<ColumnBuffers>();
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!out_) throw SnapshotError("cannot open snapshot file for writing: " + path);
+  // Write into a sibling temp file; finish() renames it over `path` so a
+  // crash mid-campaign can never leave a half-written file at the final
+  // name (same pattern as the key-cache flush).
+  out_.open(path + ".tmp", std::ios::binary | std::ios::trunc);
+  if (!out_) throw SnapshotError("cannot open snapshot file for writing: " + path + ".tmp");
   UaWriter header;
   header.u32(kMagic);
   header.u32(format_version_);
@@ -665,6 +691,9 @@ void SnapshotWriter::add_host_v6(const HostScanRecord& host) {
   if (host.server_signature_valid) flags |= snapshot_flags::kServerSignatureValid;
   if (host.anonymous_offered) flags |= snapshot_flags::kAnonymousOffered;
   if (host.traversal_truncated) flags |= snapshot_flags::kTraversalTruncated;
+  const bool scan_quality = host.completeness != ProbeOutcome::complete ||
+                            host.retries != 0 || host.fault_events != 0;
+  if (scan_quality) flags |= snapshot_flags::kScanQuality;
   c.flags.push_back(flags);
 
   // Per-endpoint pass: derived masks + dictionary interning. The head id
@@ -742,6 +771,11 @@ void SnapshotWriter::add_host_v6(const HostScanRecord& host) {
     if (node.writable) access |= 0x2;
     if (node.executable) access |= 0x4;
     w.byte(access);
+  }
+  if (scan_quality) {
+    w.byte(static_cast<std::uint8_t>(host.completeness));
+    w.u16(host.retries);
+    w.u16(host.fault_events);
   }
   if (w.bytes().size() > std::numeric_limits<std::uint32_t>::max()) {
     throw SnapshotError("chunk var column exceeds 4 GiB; lower chunk_records: " + path_);
@@ -889,7 +923,12 @@ void SnapshotWriter::finish() {
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
   out_.close();
-  if (!out_) throw SnapshotError("write failure while sealing snapshot file: " + path_);
+  if (!out_) throw SnapshotError("write failure while sealing snapshot file: " + path_ + ".tmp");
+  const std::string tmp = path_ + ".tmp";
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot move sealed snapshot file into place: " + tmp + " -> " + path_);
+  }
   finished_ = true;
 }
 
@@ -902,9 +941,13 @@ SnapshotReader::SnapshotReader(const std::string& path, std::uint64_t seed) : pa
     if (!in) throw SnapshotError("snapshot file not found: " + path);
     in.seekg(0, std::ios::end);
     file_size = static_cast<std::uint64_t>(in.tellg());
+    if (file_size == 0) {
+      throw SnapshotError("snapshot file is empty (0 bytes): " + path);
+    }
     if (file_size < kHeaderBytes) {
       throw SnapshotError("snapshot file truncated: " + path + " holds only " +
-                          std::to_string(file_size) + " bytes");
+                          std::to_string(file_size) + " bytes, need at least " +
+                          std::to_string(kHeaderBytes) + " for the header");
     }
     Bytes header(kHeaderBytes);
     in.seekg(0);
@@ -927,7 +970,9 @@ SnapshotReader::SnapshotReader(const std::string& path, std::uint64_t seed) : pa
     if (version_ == kVersionV5) {
       // v5: trailer -> footer -> validated chunk index.
       if (file_size < kHeaderBytes + kTrailerBytes) {
-        throw SnapshotError("snapshot file truncated before trailer (v5): " + path);
+        throw SnapshotError("snapshot file truncated before trailer (v5): " + path +
+                            " holds only " + std::to_string(file_size) + " bytes, need at least " +
+                            std::to_string(kHeaderBytes + kTrailerBytes));
       }
       Bytes trailer(kTrailerBytes);
       in.seekg(static_cast<std::streamoff>(file_size - kTrailerBytes));
@@ -1112,7 +1157,9 @@ void SnapshotReader::open_v6(std::uint64_t file_size) {
   }
 
   if (data_size_ < kHeaderBytes + kTrailerBytes) {
-    throw SnapshotError("snapshot file truncated before trailer (v6): " + path_);
+    throw SnapshotError("snapshot file truncated before trailer (v6): " + path_ +
+                        " holds only " + std::to_string(data_size_) + " bytes, need at least " +
+                        std::to_string(kHeaderBytes + kTrailerBytes));
   }
   UaReader tr(std::span<const std::uint8_t>(data_ + data_size_ - kTrailerBytes, kTrailerBytes));
   const std::uint64_t footer_offset = tr.u64();
@@ -1444,9 +1491,20 @@ void save_snapshots_v4(const std::string& path, std::uint64_t seed,
     w.u32(static_cast<std::uint32_t>(snapshot.hosts.size()));
     for (const auto& host : snapshot.hosts) write_host(w, host);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  const Bytes& data = w.bytes();
-  out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("cannot open snapshot file for writing: " + tmp);
+    const Bytes& data = w.bytes();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.close();
+    if (!out) throw SnapshotError("write failure while writing snapshot file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot move snapshot file into place: " + tmp + " -> " + path);
+  }
 }
 
 bool campaign_declared(const SnapshotMeta& meta) {

@@ -37,6 +37,10 @@
 //              string[] namespaces
 //              u32 node_count ×(string browse_name  u8 node_class
 //                               u8 access bits r|w<<1|x<<2)
+//              [scan-quality tail, only when flags bit 6 is set:
+//               u8 completeness  u16 retries  u16 fault_events —
+//               at least one field nonzero (an all-zero tail is
+//               non-canonical and rejected)]
 //            zero padding to the next 8-byte boundary (not indexed;
 //            recomputed as (8 - payload%8) % 8)
 //   dict:    u32 'CDIC'  u32 entry_count
@@ -128,7 +132,11 @@ inline constexpr std::uint8_t kFoundViaReference = 1u << 2;
 inline constexpr std::uint8_t kServerSignatureValid = 1u << 3;
 inline constexpr std::uint8_t kAnonymousOffered = 1u << 4;
 inline constexpr std::uint8_t kTraversalTruncated = 1u << 5;
-inline constexpr std::uint8_t kAllFlags = (1u << 6) - 1;
+/// Record carries a scan-quality tail (5 bytes at the end of its var
+/// slice). Only set when any quality field is nonzero, so fault-free
+/// files stay byte-identical to pre-fault output.
+inline constexpr std::uint8_t kScanQuality = 1u << 6;
+inline constexpr std::uint8_t kAllFlags = (1u << 7) - 1;
 }  // namespace snapshot_flags
 
 /// The v6 "no certificate" sentinel in endpoint cert_id slots.

@@ -17,6 +17,12 @@ void sort_by_endpoint(std::vector<HostScanRecord>& hosts) {
   });
 }
 
+void install_fault_plan(Network& net, const ShardedCampaignConfig& config) {
+  if (!config.faults.enabled()) return;
+  const std::uint64_t seed = config.fault_seed != 0 ? config.fault_seed : config.campaign.seed;
+  net.set_fault_plan(std::make_unique<FaultPlan>(seed, config.faults));
+}
+
 }  // namespace
 
 std::uint64_t ShardedRunStats::max_simulated_us() const {
@@ -38,6 +44,7 @@ ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
   for (int s = 0; s < shards; ++s) {
     networks.push_back(std::make_unique<Network>());
     deployer.deploy_week(*networks.back(), week, ShardSpec{s, shards});
+    install_fault_plan(*networks.back(), config);
   }
 
   // Scan every shard on its own worker; each campaign touches only its own
@@ -96,6 +103,7 @@ SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
   for (int s = 0; s < shards; ++s) {
     networks.push_back(std::make_unique<Network>());
     deployer.deploy_week(*networks.back(), week, ShardSpec{s, shards});
+    install_fault_plan(*networks.back(), config);
   }
 
   SnapshotMeta meta;

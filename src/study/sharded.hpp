@@ -11,6 +11,7 @@
 // count or thread scheduling. See DESIGN.md §Sharding.
 #pragma once
 
+#include "netsim/faults.hpp"
 #include "population/deploy.hpp"
 #include "scanner/campaign.hpp"
 #include "study/study.hpp"
@@ -23,6 +24,13 @@ struct ShardedCampaignConfig {
   int shards = 4;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   int threads = 0;
+  /// Fault injection installed on every shard Network after deployment.
+  /// Default-constructed = disabled (no plan attached, nothing drawn).
+  FaultProfile faults;
+  /// Seed of the per-endpoint fault streams; 0 = reuse campaign.seed.
+  /// Fault streams are keyed by (ip, port), so the injected sequence is
+  /// independent of the shard layout and thread count.
+  std::uint64_t fault_seed = 0;
 };
 
 struct ShardedRunStats {

@@ -184,7 +184,10 @@ TEST(SnapshotV5, AbandonedWriterLeavesUnloadableFile) {
   // A writer destroyed without finish() — e.g. stack unwinding after a
   // failed campaign — must not seal the partial dataset: a 3-of-8-week
   // file that loads cleanly would silently skew every longitudinal stat.
+  // The writer streams into a sibling .tmp and only finish() renames it,
+  // so the final path never even exists for an abandoned campaign.
   const std::string path = "/tmp/opcua_test_v5_abandoned.bin";
+  std::remove(path.c_str());
   {
     SnapshotWriter writer(path, 42);
     writer.add_snapshot(make_study(4, 1).front());
@@ -192,8 +195,13 @@ TEST(SnapshotV5, AbandonedWriterLeavesUnloadableFile) {
   }
   std::string error;
   EXPECT_FALSE(load_snapshots(path, 42, &error).has_value());
-  EXPECT_NE(error.find("unsealed"), std::string::npos);
-  std::remove(path.c_str());
+  EXPECT_NE(error.find("not found"), std::string::npos);
+  // The partial bytes sit in the unsealed temp file, which also refuses
+  // to load (no trailer was ever written).
+  std::string tmp_error;
+  EXPECT_FALSE(load_snapshots(path + ".tmp", 42, &tmp_error).has_value());
+  EXPECT_NE(tmp_error.find("unsealed"), std::string::npos);
+  std::remove((path + ".tmp").c_str());
 }
 
 TEST(SnapshotV5, SeedAndVersionMismatchRejected) {
@@ -276,6 +284,159 @@ TEST(SnapshotV5, RandomPayloadCorruptionNeverCrashes) {
   }
   std::remove(path.c_str());
   std::remove(bad_path.c_str());
+}
+
+std::uint32_t read_le32(const Bytes& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) | (static_cast<std::uint32_t>(b[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 3]) << 24);
+}
+
+std::uint64_t read_le64(const Bytes& b, std::size_t at) {
+  return static_cast<std::uint64_t>(read_le32(b, at)) |
+         (static_cast<std::uint64_t>(read_le32(b, at + 4)) << 32);
+}
+
+void write_le32(Bytes& b, std::size_t at, std::uint32_t value) {
+  b[at] = static_cast<std::uint8_t>(value);
+  b[at + 1] = static_cast<std::uint8_t>(value >> 8);
+  b[at + 2] = static_cast<std::uint8_t>(value >> 16);
+  b[at + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+/// Byte offset of the v6 certificate dictionary, recovered the same way
+/// the reader finds it: trailer -> footer -> dict_offset field.
+std::size_t v6_dict_offset(const Bytes& b) {
+  const std::size_t footer = static_cast<std::size_t>(read_le64(b, b.size() - 12));
+  const std::uint32_t snapshot_count = read_le32(b, footer + 4);
+  std::size_t at = footer + 8 + 36ull * snapshot_count;
+  const std::uint32_t chunk_count = read_le32(b, at);
+  at += 4 + 24ull * chunk_count;
+  return static_cast<std::size_t>(read_le64(b, at));
+}
+
+TEST(SnapshotV6, VarOffsetTableCorruptionRejected) {
+  const std::string path = "/tmp/opcua_test_v6_offsets.bin";
+  const std::string bad_path = "/tmp/opcua_test_v6_offsets_bad.bin";
+  save_snapshots(path, 42, make_study(10, 1));
+  const Bytes full = read_file_bytes(path);
+
+  // First chunk header sits right after the 16-byte file header; its
+  // var_offsets table (n + 1 u32s) starts 24 header + 32n column bytes in.
+  const std::size_t chunk = 16;
+  ASSERT_EQ(read_le32(full, chunk), 0x4b4e4843u);  // 'CHNK'
+  const std::uint32_t n = read_le32(full, chunk + 8);
+  ASSERT_EQ(n, 10u);
+  const std::size_t offsets = chunk + 24 + 32ull * n;
+
+  const auto expect_rejected = [&](const Bytes& mutated, const char* what) {
+    write_file_bytes(bad_path, mutated);
+    std::string error;
+    EXPECT_FALSE(load_snapshots(bad_path, 42, &error).has_value()) << what;
+    EXPECT_NE(error.find("var offsets"), std::string::npos) << what << ": " << error;
+  };
+
+  Bytes nonzero_first = full;
+  write_le32(nonzero_first, offsets, 1);
+  expect_rejected(nonzero_first, "offsets[0] != 0");
+
+  Bytes non_monotone = full;
+  ASSERT_GT(read_le32(full, offsets + 4), 0u);  // record 0 has var bytes
+  write_le32(non_monotone, offsets + 8, 0);     // offsets[2] < offsets[1]
+  expect_rejected(non_monotone, "non-monotone offsets");
+
+  Bytes short_cover = full;
+  write_le32(short_cover, offsets + 4ull * n, read_le32(full, offsets + 4ull * n) - 1);
+  expect_rejected(short_cover, "offsets stop short of the var column");
+
+  Bytes overflow = full;
+  write_le32(overflow, offsets + 4ull * n, 0xffffffffu);
+  expect_rejected(overflow, "offsets[n] = 0xffffffff");
+
+  // Strided bit flips across the whole table: every one either still
+  // loads (a slack byte is impossible here, but symmetry with the payload
+  // fuzz) or throws SnapshotError — never UB.
+  for (std::size_t bit = 0; bit < 4ull * (n + 1) * 8; bit += 7) {
+    Bytes mutated = full;
+    mutated[offsets + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    write_file_bytes(bad_path, mutated);
+    const auto loaded = load_snapshots(bad_path, 42);
+    if (loaded.has_value()) EXPECT_EQ(loaded->front().hosts.size(), 10u);
+  }
+
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(SnapshotV6, CertDictionaryCorruptionRejected) {
+  const std::string path = "/tmp/opcua_test_v6_dict.bin";
+  const std::string bad_path = "/tmp/opcua_test_v6_dict_bad.bin";
+  save_snapshots(path, 42, make_study(10, 1));
+  const Bytes full = read_file_bytes(path);
+  const std::size_t dict = v6_dict_offset(full);
+  ASSERT_EQ(read_le32(full, dict), 0x43494443u);  // 'CDIC'
+  const std::uint32_t entries = read_le32(full, dict + 4);
+  ASSERT_GT(entries, 0u);  // the cert fleet interned at least one DER
+
+  const auto expect_rejected = [&](const Bytes& mutated, const char* what) {
+    write_file_bytes(bad_path, mutated);
+    std::string error;
+    EXPECT_FALSE(load_snapshots(bad_path, 42, &error).has_value()) << what;
+    EXPECT_NE(error.find("dictionary"), std::string::npos) << what << ": " << error;
+  };
+
+  Bytes bad_magic = full;
+  bad_magic[dict] ^= 0xff;
+  expect_rejected(bad_magic, "dictionary magic");
+
+  Bytes bad_count = full;
+  write_le32(bad_count, dict + 4, entries + 1);
+  expect_rejected(bad_count, "entry count disagrees with footer");
+
+  // Entry 0: u64 fingerprint, i32 DER length, DER bytes. Corrupting the
+  // stored fingerprint or any DER byte must fail the open-time
+  // recompute-and-compare.
+  Bytes bad_fp = full;
+  bad_fp[dict + 8] ^= 0x01;
+  expect_rejected(bad_fp, "stored fingerprint");
+
+  const std::uint32_t der_len = read_le32(full, dict + 16);
+  ASSERT_GT(der_len, 8u);
+  Bytes bad_der = full;
+  bad_der[dict + 20 + der_len / 2] ^= 0x10;
+  expect_rejected(bad_der, "DER content");
+
+  Bytes bad_len = full;
+  write_le32(bad_len, dict + 16, 0);
+  expect_rejected(bad_len, "zero-length DER");
+
+  // Strided flips across the whole dictionary region never crash.
+  const std::size_t dict_end = static_cast<std::size_t>(read_le64(full, full.size() - 12));
+  for (std::size_t at = dict; at < dict_end; at += 13) {
+    Bytes mutated = full;
+    mutated[at] ^= 0x40;
+    write_file_bytes(bad_path, mutated);
+    const auto loaded = load_snapshots(bad_path, 42);
+    if (loaded.has_value()) EXPECT_EQ(loaded->front().hosts.size(), 10u);
+  }
+
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(SnapshotV6, EmptyAndRuntFilesNameTheirSize) {
+  const std::string path = "/tmp/opcua_test_v6_runt.bin";
+  write_file_bytes(path, Bytes{});
+  std::string error;
+  EXPECT_FALSE(load_snapshots(path, 42, &error).has_value());
+  EXPECT_NE(error.find("empty (0 bytes)"), std::string::npos) << error;
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+
+  write_file_bytes(path, Bytes{0x4f, 0x55, 0x41, 0x53, 0x06});  // 5 of 16 header bytes
+  EXPECT_FALSE(load_snapshots(path, 42, &error).has_value());
+  EXPECT_NE(error.find("5"), std::string::npos) << error;
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  std::remove(path.c_str());
 }
 
 TEST(Analysis, MatchesAssessReferenceBitForBit) {
