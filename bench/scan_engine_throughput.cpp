@@ -6,12 +6,14 @@
 // equivalents on a synthetic population:
 //  - lock-step:    max_in_flight = 1 — the old strictly sequential engine,
 //  - interleaved:  max_in_flight = 256 on one Network / one core,
-//  - sharded:      per-shard Networks on a worker-thread pool.
+//  - sharded:      per-shard Networks on a worker-thread pool,
+//  - mqtt-tls:     the MQTT backend alone through the protocol registry,
+//  - mixed fleet:  both protocol families in one heterogeneous sweep.
 // It reports hosts/sec, real wall-clock, simulated campaign time, and the
-// speedup of the parallel engines — and verifies that all three produce the
-// same scan results (the interleaved snapshot must equal the lock-step one
-// record for record; the sharded one up to its documented (ip, port) host
-// ordering).
+// speedup of the parallel engines — and verifies that all engines produce
+// the same scan results (the interleaved snapshot must equal the lock-step
+// one record for record, for the OPC UA-only and the mixed sweep alike; the
+// sharded one up to its documented (ip, port) host ordering).
 //
 // Results are emitted to BENCH_scan.json for the CI bench-regression guard.
 //
@@ -28,6 +30,7 @@
 #include "population/deploy.hpp"
 #include "report/report.hpp"
 #include "scanner/campaign.hpp"
+#include "scanner/protocol.hpp"
 #include "study/sharded.hpp"
 #include "study/study.hpp"
 
@@ -154,10 +157,16 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const int shards = positional.size() > 2 ? positional[2] : std::max(4, static_cast<int>(hardware));
 
-  std::fprintf(stderr, "[bench] scan engine throughput: %d OPC UA hosts, %d dummies, %d shards, %u cores\n",
-               opcua_hosts, dummy_hosts, shards, hardware);
+  PopulationPlan plan = synthetic_plan(opcua_hosts);
+  // An MQTT-over-TLS broker fleet alongside: invisible to the OPC UA-only
+  // rows (the brokers sit on port 8883), scanned by the mqtt/mixed rows.
+  const int mqtt_hosts = std::max(1, opcua_hosts / 2);
+  add_mqtt_population(plan, kSeed, mqtt_hosts);
 
-  const PopulationPlan plan = synthetic_plan(opcua_hosts);
+  std::fprintf(stderr,
+               "[bench] scan engine throughput: %d OPC UA hosts, %d MQTT brokers, %d dummies, "
+               "%d shards, %u cores\n",
+               opcua_hosts, mqtt_hosts, dummy_hosts, shards, hardware);
   DeployConfig deploy_config;
   deploy_config.seed = kSeed;
   deploy_config.dummy_hosts = dummy_hosts;
@@ -167,13 +176,16 @@ int main(int argc, char** argv) {
   KeyFactory scanner_keys(kSeed, "");
   const ClientConfig scanner_identity = make_scanner_identity(kSeed, scanner_keys);
 
-  auto run_single_network = [&](std::size_t max_in_flight) {
+  auto run_single_network = [&](std::size_t max_in_flight,
+                                const std::vector<ProtocolTarget>& protocols =
+                                    std::vector<ProtocolTarget>{}) {
     EngineResult result;
     Network net;
     deployer.deploy_week(net, 7);
     CampaignConfig config;
     config.seed = kSeed;
     config.max_in_flight = max_in_flight;
+    config.protocols = protocols;
     config.grabber.client = scanner_identity;
     Campaign campaign(config, net);
     const auto start = std::chrono::steady_clock::now();
@@ -182,11 +194,22 @@ int main(int argc, char** argv) {
     result.simulated_seconds = static_cast<double>(net.clock().now_us()) / 1e6;
     return result;
   };
+  const std::vector<ProtocolTarget> mqtt_only = {
+      {ProtocolId::mqtt_tls, kMqttTlsDefaultPort}};
+  const std::vector<ProtocolTarget> mixed_fleet = {
+      {ProtocolId::opcua, 4840}, {ProtocolId::mqtt_tls, kMqttTlsDefaultPort}};
 
   std::fprintf(stderr, "[bench] lock-step engine (max_in_flight = 1)...\n");
   const EngineResult lock_step = run_single_network(1);
   std::fprintf(stderr, "[bench] interleaved engine (max_in_flight = 256)...\n");
   const EngineResult interleaved = run_single_network(256);
+
+  std::fprintf(stderr, "[bench] mqtt-tls backend (max_in_flight = 256)...\n");
+  const EngineResult mqtt = run_single_network(256, mqtt_only);
+  std::fprintf(stderr, "[bench] mixed fleet lock-step (max_in_flight = 1)...\n");
+  const EngineResult mixed_lock_step = run_single_network(1, mixed_fleet);
+  std::fprintf(stderr, "[bench] mixed fleet interleaved (max_in_flight = 256)...\n");
+  const EngineResult mixed = run_single_network(256, mixed_fleet);
 
   std::fprintf(stderr, "[bench] sharded engine (%d shards)...\n", shards);
   EngineResult sharded;
@@ -212,6 +235,14 @@ int main(int argc, char** argv) {
     return hosts;
   };
   const bool sharded_equal = sorted_hosts(sharded.snapshot) == sorted_hosts(lock_step.snapshot);
+  const bool mixed_equal = mixed.snapshot == mixed_lock_step.snapshot;
+  // The heterogeneous sweep must actually cover both protocol families.
+  bool protocol_seen[static_cast<std::size_t>(kProtocolCount)] = {};
+  for (const auto& host : mixed.snapshot.hosts) {
+    protocol_seen[static_cast<std::size_t>(host.protocol)] = true;
+  }
+  int mixed_protocol_families = 0;
+  for (const bool seen : protocol_seen) mixed_protocol_families += seen ? 1 : 0;
 
   const auto hosts_per_sec = [](const EngineResult& r) {
     return static_cast<double>(r.snapshot.hosts.size()) / std::max(r.real_seconds, 1e-9);
@@ -232,6 +263,10 @@ int main(int argc, char** argv) {
   add("interleaved (in-flight 256)", interleaved, interleaved_speedup);
   add(("sharded (" + std::to_string(shards) + " shards, " + std::to_string(hardware) + " threads)").c_str(),
       sharded, sharded_speedup);
+  add("mqtt-tls backend (in-flight 256)", mqtt, 1.0);
+  add("mixed fleet lock-step (in-flight 1)", mixed_lock_step, 1.0);
+  add("mixed fleet (in-flight 256)", mixed,
+      mixed_lock_step.real_seconds / std::max(mixed.real_seconds, 1e-9));
   std::fputs(table.str().c_str(), stdout);
 
   std::vector<ComparisonRow> rows = {
@@ -242,6 +277,10 @@ int main(int argc, char** argv) {
       {"simulated window compressed (interleaved vs lock-step)", "> 2x",
        fmt_double(lock_step.simulated_seconds / std::max(interleaved.simulated_seconds, 1e-9), 1) + "x",
        lock_step.simulated_seconds > 2 * interleaved.simulated_seconds},
+      {"mixed-fleet snapshot == mixed lock-step (record for record)", "equal",
+       mixed_equal ? "equal" : "MISMATCH", mixed_equal},
+      {"mixed sweep covers both protocol families", "2",
+       std::to_string(mixed_protocol_families), mixed_protocol_families == 2},
   };
   if (hardware >= 4) {
     rows.push_back({"sharded wall-clock speedup on >= 4 cores", ">= 2x",
@@ -259,6 +298,7 @@ int main(int argc, char** argv) {
     JsonWriter json;
     json.begin_object()
         .field("opcua_hosts", opcua_hosts)
+        .field("mqtt_hosts", mqtt_hosts)
         .field("dummy_hosts", dummy_hosts)
         .field("shards", shards)
         .field("cores", static_cast<int>(hardware))
@@ -267,16 +307,21 @@ int main(int argc, char** argv) {
         .field("lock_step", hosts_per_sec(lock_step))
         .field("interleaved", hosts_per_sec(interleaved))
         .field("sharded", hosts_per_sec(sharded))
+        .field("mqtt", hosts_per_sec(mqtt))
+        .field("mixed", hosts_per_sec(mixed))
         .end_object()
         .field("interleaved_speedup", interleaved_speedup)
         .field("sharded_speedup", sharded_speedup)
         .field("simulated_window_compression", window_compression)
         .field("interleaved_equals_lock_step", interleaved_equal)
         .field("sharded_equals_lock_step", sharded_equal)
+        .field("mixed_equals_lock_step", mixed_equal)
+        .field("mixed_protocol_families", mixed_protocol_families)
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
     std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
   }
-  return (interleaved_equal && sharded_equal) ? 0 : 1;
+  return (interleaved_equal && sharded_equal && mixed_equal && mixed_protocol_families == 2) ? 0
+                                                                                            : 1;
 }

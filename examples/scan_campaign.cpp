@@ -1,10 +1,13 @@
 // Run a miniature Internet-wide measurement end to end: build a small
-// synthetic Internet, sweep it zmap-style, grab every OPC UA host, and
+// synthetic Internet, sweep it zmap-style, grab every OPC UA host plus an
+// MQTT-over-TLS broker fleet through the protocol-plugin registry, and
 // print a security assessment — the whole paper pipeline in one file.
 //
 //   ./build/examples/scan_campaign [scale]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "assess/assess.hpp"
 #include "population/deploy.hpp"
@@ -77,6 +80,10 @@ int main(int argc, char** argv) {
     }
     plan.hosts.push_back(std::move(host));
   }
+  // A broker fleet on port 8883 rides along: the campaign below sweeps both
+  // protocol families in one pass through the plugin registry.
+  const int brokers = std::max(1, hosts / 3);
+  add_mqtt_population(plan, 2024, brokers);
 
   DeployConfig deploy_config;
   deploy_config.seed = 11;
@@ -90,13 +97,23 @@ int main(int argc, char** argv) {
   KeyFactory keys(11, "");
   CampaignConfig campaign_config;
   campaign_config.seed = 3;
+  campaign_config.protocols = {{ProtocolId::opcua, 4840},
+                               {ProtocolId::mqtt_tls, kMqttTlsDefaultPort}};
   campaign_config.grabber.client = make_scanner_identity(11, keys);
   Campaign campaign(campaign_config, net);
   const ScanSnapshot snapshot = campaign.run(7);
 
-  std::printf("probes: %llu, port open: %llu, OPC UA speakers: %zu\n",
+  std::map<ProtocolId, std::size_t> by_protocol;
+  for (const auto& host : snapshot.hosts) ++by_protocol[host.protocol];
+  std::printf("probes: %llu, port open: %llu, speakers: %zu (",
               static_cast<unsigned long long>(snapshot.probes_sent),
               static_cast<unsigned long long>(snapshot.tcp_open_count), snapshot.hosts.size());
+  bool first = true;
+  for (const auto& [protocol, count] : by_protocol) {
+    std::printf("%s%s %zu", first ? "" : ", ", protocol_name(protocol).c_str(), count);
+    first = false;
+  }
+  std::printf(")\n");
 
   ModePolicyStats modes = assess_modes_policies(snapshot);
   AuthStats auth = assess_auth(snapshot);

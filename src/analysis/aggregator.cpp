@@ -21,8 +21,8 @@ namespace opcua_study {
 
 namespace {
 
-template <typename K>
-void merge_count_map(std::map<K, int>& into, const std::map<K, int>& from) {
+template <typename K, typename V>
+void merge_count_map(std::map<K, V>& into, const std::map<K, V>& from) {
   for (const auto& [key, count] : from) into[key] += count;
 }
 
@@ -212,6 +212,11 @@ struct ChunkPartial {
   std::uint64_t q_hosts = 0, q_complete = 0, q_truncated = 0, q_degraded = 0, q_unreachable = 0;
   std::uint64_t q_faulted = 0, q_recovered = 0, q_retries = 0, q_fault_events = 0;
 
+  // Per-protocol population split. proto_hosts covers every record (like
+  // the quality tallies); the final-week maps cover servers only.
+  std::map<ProtocolId, std::uint64_t> proto_hosts;
+  std::map<ProtocolId, std::uint64_t> proto_servers, proto_deficient, proto_anonymous;
+
   // Final-measurement figures.
   ModePolicyStats modes;
   CertConformanceStats certs;
@@ -245,6 +250,7 @@ struct ChunkPartial {
   void absorb(const HostScanRecord& host, bool final_week, const FinalWeekSets& sets) {
     absorb_quality(static_cast<std::uint8_t>(host.completeness), host.retries,
                    host.fault_events);
+    proto_hosts[host.protocol]++;
     // Fig. 7 is the one figure with no discovery-server filter (the
     // reference assess_access_rights keys on session outcome alone).
     if (final_week && host.session == SessionOutcome::accessible) {
@@ -287,6 +293,11 @@ struct ChunkPartial {
     const bool host_deficient = max == SecurityPolicy::None || policy_info(max).deprecated ||
                                 cert_too_weak || host.anonymous_offered;
     deficient += host_deficient;
+    if (final_week) {
+      proto_servers[host.protocol]++;
+      if (host_deficient) proto_deficient[host.protocol]++;
+      if (host.anonymous_offered) proto_anonymous[host.protocol]++;
+    }
 
     // History / corpus / fleet membership (§5.5).
     HostObs obs;
@@ -468,22 +479,40 @@ struct ChunkPartial {
                        std::vector<std::uint32_t>& ids, bool final_week,
                        const FinalWeekSets& sets) {
     const std::uint8_t host_flags = view.flags[i];
-    // The scan-quality tail sits at the fixed end of the var slice (5
-    // bytes, little-endian), so it never needs a cursor walk.
+    // Fixed-position tails at the end of the var slice, peeled innermost
+    // last: [quality 5B][protocol 1B]. Neither needs a cursor walk.
+    const std::uint32_t var_begin = view.var_offsets[i];
+    std::uint32_t tail_end = view.var_offsets[i + 1];
+    ProtocolId protocol = ProtocolId::opcua;
+    if (host_flags & snapshot_flags::kProtocol) {
+      if (tail_end == var_begin) {
+        throw DecodeError("var record too short for its protocol tail");
+      }
+      const std::uint8_t p = view.var_blob[tail_end - 1];
+      if (p == 0) {
+        throw DecodeError(
+            "snapshot record: zero protocol tail byte (non-canonical; OPC UA records carry no "
+            "protocol tail)");
+      }
+      if (p >= kProtocolCount) {
+        throw DecodeError("snapshot record: invalid protocol value " + std::to_string(p));
+      }
+      protocol = static_cast<ProtocolId>(p);
+      --tail_end;
+    }
     std::uint8_t q_completeness = 0;
     std::uint16_t q_rec_retries = 0, q_rec_faults = 0;
     if (host_flags & snapshot_flags::kScanQuality) {
-      const std::uint32_t begin = view.var_offsets[i];
-      const std::uint32_t end = view.var_offsets[i + 1];
-      if (end - begin < 5) {
+      if (tail_end - var_begin < 5) {
         throw DecodeError("var record too short for its scan-quality tail");
       }
-      const std::uint8_t* t = view.var_blob.data() + end - 5;
+      const std::uint8_t* t = view.var_blob.data() + tail_end - 5;
       q_completeness = t[0];
       q_rec_retries = static_cast<std::uint16_t>(t[1] | (t[2] << 8));
       q_rec_faults = static_cast<std::uint16_t>(t[3] | (t[4] << 8));
     }
     absorb_quality(q_completeness, q_rec_retries, q_rec_faults);
+    proto_hosts[protocol]++;
     const bool anonymous_offered = (host_flags & snapshot_flags::kAnonymousOffered) != 0;
     const bool is_discovery = view.application_type[i] ==
                               static_cast<std::uint8_t>(ApplicationType::DiscoveryServer);
@@ -548,6 +577,11 @@ struct ChunkPartial {
     const bool host_deficient = max == SecurityPolicy::None || policy_info(max).deprecated ||
                                 cert_too_weak || anonymous_offered;
     deficient += host_deficient;
+    if (final_week) {
+      proto_servers[protocol]++;
+      if (host_deficient) proto_deficient[protocol]++;
+      if (anonymous_offered) proto_anonymous[protocol]++;
+    }
 
     // History / corpus / fleet membership (§5.5).
     HostObs obs;
@@ -721,6 +755,10 @@ struct ChunkPartial {
 };
 
 void merge_figures(ChunkPartial& into, ChunkPartial&& from) {
+  // Cross-protocol split (final week, servers only)
+  merge_count_map(into.proto_servers, from.proto_servers);
+  merge_count_map(into.proto_deficient, from.proto_deficient);
+  merge_count_map(into.proto_anonymous, from.proto_anonymous);
   // Fig. 3
   into.modes.servers += from.modes.servers;
   merge_count_map(into.modes.mode_support, from.modes.mode_support);
@@ -839,7 +877,8 @@ bool StudyAnalysis::figures_equal(const StudyAnalysis& other) const {
   return weeks == other.weeks && modes == other.modes && certificates == other.certificates &&
          reuse == other.reuse && shared_primes == other.shared_primes && auth == other.auth &&
          access_rights == other.access_rights && deficits == other.deficits &&
-         longitudinal == other.longitudinal && scan_quality == other.scan_quality;
+         longitudinal == other.longitudinal && scan_quality == other.scan_quality &&
+         protocols == other.protocols;
 }
 
 StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& options) {
@@ -912,6 +951,7 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
   ChunkPartial total;
   std::vector<WeeklyObservation> week_obs(weeks);
   std::vector<ScanQualityWeek> quality_weeks(weeks);
+  std::vector<std::map<ProtocolId, std::uint64_t>> proto_week_hosts(weeks);
   struct HostHistory {
     std::vector<int> weeks;
     std::vector<std::set<std::string>> cert_sets;
@@ -957,6 +997,7 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
         q.recovered += partial.q_recovered;
         q.retries += partial.q_retries;
         q.fault_events += partial.q_fault_events;
+        merge_count_map(proto_week_hosts[week], partial.proto_hosts);
         merge_count_map(obs.by_manufacturer, partial.by_manufacturer);
         for (auto& [fp, info] : partial.corpus) total.corpus.try_emplace(fp, info);
         const int measurement_index = analysis.weeks[week].measurement_index;
@@ -1027,6 +1068,17 @@ StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& 
     quality.recovery_rate =
         static_cast<double>(quality.recovered) / static_cast<double>(quality.faulted);
   }
+
+  // ---- finalize: cross-protocol population split ------------------------
+  for (std::size_t w = 0; w < weeks; ++w) {
+    ProtocolWeek pw;
+    pw.measurement_index = analysis.weeks[w].measurement_index;
+    pw.hosts = std::move(proto_week_hosts[w]);
+    analysis.protocols.weeks.push_back(std::move(pw));
+  }
+  analysis.protocols.servers = std::move(total.proto_servers);
+  analysis.protocols.deficient = std::move(total.proto_deficient);
+  analysis.protocols.anonymous = std::move(total.proto_anonymous);
 
   // ---- finalize: Fig. 2 / §5.5 longitudinal -----------------------------
   LongitudinalStats& lng = analysis.longitudinal;

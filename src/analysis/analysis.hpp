@@ -85,6 +85,7 @@ struct StudyAnalysis {
   DeficitBreakdown deficits;          // Fig. 8
   LongitudinalStats longitudinal;     // Fig. 2 / §5.5
   ScanQualityStats scan_quality;      // fault/retry/recovery rates
+  ProtocolStats protocols;            // per-protocol population split
 
   double shared_prime_seconds = 0;  // batch-GCD wall time, 0 if skipped
 

@@ -526,4 +526,24 @@ LongitudinalStats assess_longitudinal(const std::vector<ScanSnapshot>& snapshots
   return stats;
 }
 
+// --------------------------------------------- cross-protocol populations --
+
+ProtocolStats assess_protocols(const std::vector<ScanSnapshot>& snapshots) {
+  ProtocolStats stats;
+  for (const auto& snapshot : snapshots) {
+    ProtocolWeek week;
+    week.measurement_index = snapshot.measurement_index;
+    for (const auto& host : snapshot.hosts) week.hosts[host.protocol]++;
+    stats.weeks.push_back(std::move(week));
+  }
+  if (snapshots.empty()) return stats;
+  for (const auto& host : snapshots.back().hosts) {
+    if (host.is_discovery_server()) continue;
+    stats.servers[host.protocol]++;
+    if (is_deficient(host)) stats.deficient[host.protocol]++;
+    if (host.anonymous_offered) stats.anonymous[host.protocol]++;
+  }
+  return stats;
+}
+
 }  // namespace opcua_study

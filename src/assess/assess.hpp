@@ -214,6 +214,34 @@ struct LongitudinalStats {
 
 LongitudinalStats assess_longitudinal(const std::vector<ScanSnapshot>& snapshots);
 
+// --------------------------------------------- cross-protocol populations ----
+
+/// One measurement's per-protocol record counts. Covers *every* record
+/// (discovery servers included), like the scan-quality tallies: the row
+/// measures what the scan engine talked to, not the server population.
+struct ProtocolWeek {
+  int measurement_index = 0;
+  std::map<ProtocolId, std::uint64_t> hosts;
+
+  friend bool operator==(const ProtocolWeek&, const ProtocolWeek&) = default;
+};
+
+/// Per-protocol population split along the ProtocolProbe registry
+/// dimension. The final-measurement maps count servers only (discovery
+/// filtered, like the figures). A pure OPC UA study yields a single
+/// ProtocolId::opcua key everywhere, so pre-registry outputs stay
+/// comparable.
+struct ProtocolStats {
+  std::vector<ProtocolWeek> weeks;
+  std::map<ProtocolId, std::uint64_t> servers;    // final measurement
+  std::map<ProtocolId, std::uint64_t> deficient;  // is_deficient() servers
+  std::map<ProtocolId, std::uint64_t> anonymous;  // anonymous_offered servers
+
+  friend bool operator==(const ProtocolStats&, const ProtocolStats&) = default;
+};
+
+ProtocolStats assess_protocols(const std::vector<ScanSnapshot>& snapshots);
+
 /// Shared helpers.
 bool is_deficient(const HostScanRecord& host);
 std::optional<Certificate> primary_certificate(const HostScanRecord& host);

@@ -117,6 +117,19 @@ void append_campaign_diff_fields(JsonWriter& json, const CampaignDiff& diff) {
       .field("retired", diff.retired)
       .field("arrived", diff.arrived)
       .end_object();
+  // Per-protocol population split; single-protocol pairs carry one row.
+  json.key("protocols").begin_object();
+  for (const auto& [protocol, row] : diff.by_protocol) {
+    json.key(protocol_name(protocol))
+        .begin_object()
+        .field("base_hosts", row.base_hosts)
+        .field("followup_hosts", row.followup_hosts)
+        .field("matched", row.matched)
+        .field("base_deficient", row.base_deficient)
+        .field("followup_deficient", row.followup_deficient)
+        .end_object();
+  }
+  json.end_object();
   // Matcher evidence grading: link counts per evidence class, the fixed
   // per-link confidence each class carries, and the confidence-weighted
   // mean — the audit trail for re-identification quality.

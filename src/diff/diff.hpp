@@ -69,6 +69,18 @@ struct TransitionMatrix {
 inline constexpr const char* kModeBuckets[3] = {"None", "Sign", "SignAndEncrypt"};
 inline constexpr const char* kPolicyBuckets[3] = {"None", "Deprecated", "Secure"};
 
+/// Per-protocol slice of the population/deficiency accounting — the
+/// cross-protocol dimension of a mixed-fleet diff. Matching never crosses
+/// protocols, so matched rows partition cleanly. A single-protocol
+/// campaign pair produces exactly one "opcua" row.
+struct ProtocolDiffRow {
+  std::uint64_t base_hosts = 0, followup_hosts = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t base_deficient = 0, followup_deficient = 0;
+
+  friend bool operator==(const ProtocolDiffRow&, const ProtocolDiffRow&) = default;
+};
+
 struct CampaignDiff {
   // Identity of the two compared measurements (campaign label/epoch is
   // empty/0 for inputs that never declared one).
@@ -115,6 +127,9 @@ struct CampaignDiff {
   std::uint64_t certs_gained = 0;    // no certificate before, some now
   std::uint64_t certs_lost = 0;      // some certificate before, none now
   std::uint64_t certs_absent = 0;    // no certificate on either side
+
+  // Per-protocol population split (the ProtocolProbe registry dimension).
+  std::map<ProtocolId, ProtocolDiffRow> by_protocol;
 
   // Deficiency evolution (paper §5.2: None-only, deprecated maximum, weak
   // certificate, or anonymous access) over matched hosts.

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "crypto/x509.hpp"
+#include "netsim/mqtt_service.hpp"
 #include "netsim/opcua_service.hpp"
 #include "population/profiles.hpp"
 #include "util/rng.hpp"
@@ -54,12 +55,23 @@ int Deployer::shard_of(const HostPlan& host, int shard_count) const {
   return root % shard_count;
 }
 
+int Deployer::shard_of(const MqttHostPlan& host, int shard_count) const {
+  if (shard_count <= 1) return 0;
+  return host.index % shard_count;
+}
+
 Ipv4 Deployer::ip_of(const HostPlan& host, int week) const {
   if (host.dynamic_ip) {
     return as_base(host.asn) + 0x10000 +
            static_cast<Ipv4>(host.index) * 8 + static_cast<Ipv4>(week);
   }
   return as_base(host.asn) + 16 + static_cast<Ipv4>(host.index);
+}
+
+Ipv4 Deployer::ip_of(const MqttHostPlan& host) const {
+  // Brokers live at base+0x8000, between the static (base+16+) and
+  // dynamic (base+0x10000+) OPC UA ranges — no collision in any week.
+  return as_base(host.asn) + 0x8000 + static_cast<Ipv4>(host.index);
 }
 
 std::vector<Cidr> Deployer::exclusion_list() const {
@@ -83,11 +95,31 @@ std::pair<std::string, std::size_t> Deployer::key_id_for(const HostPlan& host, b
   return {label, bits};
 }
 
-const RsaKeyPair& Deployer::keypair_for(const HostPlan& host, bool dual) {
-  const auto [label, bits] = key_id_for(host, dual);
+std::pair<std::string, std::size_t> Deployer::key_id_for(const MqttHostPlan& host) const {
+  std::string label;
+  std::size_t bits = host.key_bits;
+  if (host.reuse_group >= 0) {
+    const auto& group = plan_.reuse_groups[static_cast<std::size_t>(host.reuse_group)];
+    // Same label as the group's OPC UA members: one private key, two
+    // services — the cross-protocol sharing the matcher must not link.
+    label = "group-" + std::to_string(group.id);
+    bits = group.key_bits;
+  } else {
+    label = "mqtt-" + std::to_string(host.index);
+  }
+  if (config_.fast_keys) bits = 512;
+  return {label, bits};
+}
+
+const RsaKeyPair& Deployer::keypair_for_label(const std::string& label, std::size_t bits) {
   const auto it = key_memo_.find(label);
   if (it != key_memo_.end()) return it->second;
   return key_memo_.emplace(label, keys_.get(label, bits)).first->second;
+}
+
+const RsaKeyPair& Deployer::keypair_for(const HostPlan& host, bool dual) {
+  const auto [label, bits] = key_id_for(host, dual);
+  return keypair_for_label(label, bits);
 }
 
 void Deployer::prefetch_keys(int week, const ShardSpec& shard) {
@@ -105,8 +137,48 @@ void Deployer::prefetch_keys(int week, const ShardSpec& shard) {
     if (host.certificate.dual_certificate) wants.push_back(key_id_for(host, true));
     if (host.certificate.ca_signed) needs_ca = true;
   }
+  for (const auto& broker : plan_.mqtt_hosts) {
+    if (!broker.present_in_week(week)) continue;
+    if (shard_of(broker, shard.count) != shard.index) continue;
+    wants.push_back(key_id_for(broker));
+  }
   if (needs_ca) wants.emplace_back("study-ca", config_.fast_keys ? 512 : 2048);
   keys_.prefetch(wants, config_.key_threads);
+}
+
+std::shared_ptr<const MqttBrokerConfig> Deployer::mqtt_config_for(const MqttHostPlan& host) {
+  if (const auto it = mqtt_memo_.find(host.index); it != mqtt_memo_.end()) return it->second;
+
+  const auto [label, bits] = key_id_for(host);
+  const RsaKeyPair& keys = keypair_for_label(label, bits);
+  CertificateSpec spec;
+  spec.signature_hash = host.signature_hash;
+  spec.not_before_days = host.not_before_days;
+  spec.not_after_days = host.not_before_days + 365 * 20;
+  if (host.reuse_group >= 0) {
+    // Mirror the OPC UA reuse-group certificate field-for-field (subject,
+    // URI, serial, validity): with the class and NotBefore copied from a
+    // group member by add_mqtt_population, the DER is byte-identical to
+    // the fleet certificate the OPC UA members present.
+    const auto& group = plan_.reuse_groups[static_cast<std::size_t>(host.reuse_group)];
+    spec.subject = {"factory-image", group.subject_organization, "AT"};
+    spec.application_uri = "urn:" + group.subject_organization + ":image:opcua";
+    spec.serial = Bignum{9000 + static_cast<std::uint64_t>(group.id)};
+  } else {
+    spec.subject = {"broker-" + std::to_string(host.index), "MsgWorks", "DE"};
+    spec.application_uri = "urn:msgworks:broker:" + std::to_string(host.index);
+    spec.serial = Bignum{500000 + static_cast<std::uint64_t>(host.index)};
+  }
+
+  auto config = std::make_shared<MqttBrokerConfig>();
+  config->certificate_der = x509_create(spec, keys.pub, keys.priv);
+  config->legacy_tls = host.legacy_tls;
+  config->auth_mask = mqtt_auth::kPassword;
+  if (host.anonymous_allowed) config->auth_mask |= mqtt_auth::kAnonymous;
+  if (host.client_cert_auth) config->auth_mask |= mqtt_auth::kClientCert;
+  config->software_version = host.software_version;
+  config->topics = host.topics;
+  return mqtt_memo_.emplace(host.index, std::move(config)).first->second;
 }
 
 Bytes Deployer::certificate_for(const HostPlan& host, int week, bool dual) {
@@ -333,6 +405,13 @@ void Deployer::deploy_week(Network& net, int week, const ShardSpec& shard) {
     auto server = std::make_shared<Server>(std::move(config),
                                            config_.seed ^ static_cast<std::uint64_t>(host.index));
     net.listen(ip_of(host, week), host.port, make_opcua_factory(std::move(server)));
+  }
+
+  // MQTT-over-TLS brokers (fleet is empty unless add_mqtt_population()).
+  for (const auto& broker : plan_.mqtt_hosts) {
+    if (!broker.present_in_week(week)) continue;
+    if (shard_of(broker, shard.count) != shard.index) continue;
+    net.listen(ip_of(broker), broker.port, make_mqtt_factory(mqtt_config_for(broker)));
   }
 
   // Non-OPC-UA port-4840 background population.

@@ -20,6 +20,8 @@
 
 namespace opcua_study {
 
+struct MqttBrokerConfig;
+
 struct DeployConfig {
   std::uint64_t seed = 1;
   /// Non-OPC-UA services with an open port 4840 (the paper: only 0.5 ‰ of
@@ -57,8 +59,11 @@ class Deployer {
   /// Shard a host belongs to under a `shard_count`-way partition
   /// (reference-closure component representative modulo shard count).
   int shard_of(const HostPlan& host, int shard_count) const;
+  /// Brokers have no discovery references, so they shard by plain index.
+  int shard_of(const MqttHostPlan& host, int shard_count) const;
 
   Ipv4 ip_of(const HostPlan& host, int week) const;
+  Ipv4 ip_of(const MqttHostPlan& host) const;
   /// The scan exclusion list (paper §A.2: 5.79 M opted-out addresses).
   std::vector<Cidr> exclusion_list() const;
 
@@ -69,11 +74,16 @@ class Deployer {
   /// uses — shared by the lazy keypair_for() path and the parallel
   /// prefetch pass so the two can never drift apart.
   std::pair<std::string, std::size_t> key_id_for(const HostPlan& host, bool dual) const;
+  std::pair<std::string, std::size_t> key_id_for(const MqttHostPlan& host) const;
   /// Generate every RSA key `week`/`shard` will need on the worker pool
   /// before the (serial) server-construction loop runs.
   void prefetch_keys(int week, const ShardSpec& shard);
   Bytes certificate_for(const HostPlan& host, int week, bool dual);
   const RsaKeyPair& keypair_for(const HostPlan& host, bool dual);
+  const RsaKeyPair& keypair_for_label(const std::string& label, std::size_t bits);
+  /// The broker's wire config (certificate, TLS profile, auth methods) —
+  /// stable across weeks, memoised, shared by every weekly redeploy.
+  std::shared_ptr<const MqttBrokerConfig> mqtt_config_for(const MqttHostPlan& host);
   ServerConfig server_config(const HostPlan& host, int week);
   std::shared_ptr<AddressSpace> address_space_for(const HostPlan& host);
 
@@ -82,6 +92,7 @@ class Deployer {
   KeyFactory keys_;
   std::map<std::string, RsaKeyPair> key_memo_;
   std::map<std::pair<int, std::pair<int, bool>>, Bytes> cert_memo_;  // (host,(week,dual))
+  std::map<int, std::shared_ptr<const MqttBrokerConfig>> mqtt_memo_;
   /// host index -> smallest host index in its discovery-reference component.
   std::map<int, int> component_;
 };

@@ -1,0 +1,66 @@
+// The MQTT-over-TLS broker fleet: the proof population for the protocol
+// plugin layer (scanner/protocol.hpp). Unlike the OPC UA population this
+// fleet is not calibrated against published numbers — it exists to exercise
+// the cross-protocol paths (mixed sweeps, per-protocol analysis, the
+// matcher's protocol isolation), so the mix is a simple deterministic
+// spread over the posture dimensions the scanner records.
+#include "population/deploy.hpp"
+#include "population/plan.hpp"
+#include "population/profiles.hpp"
+#include "util/rng.hpp"
+
+namespace opcua_study {
+
+void add_mqtt_population(PopulationPlan& plan, std::uint64_t seed, int count) {
+  Rng rng = Rng(seed).child("mqtt-population");
+  // Groups that actually have OPC UA members, so shared-certificate brokers
+  // can copy the member's certificate class and NotBefore — the DER then
+  // comes out byte-identical to the OPC UA fleet certificate.
+  std::vector<const HostPlan*> group_member;
+  group_member.resize(plan.reuse_groups.size(), nullptr);
+  for (const auto& host : plan.hosts) {
+    const int g = host.certificate.reuse_group;
+    if (g >= 0 && static_cast<std::size_t>(g) < group_member.size() &&
+        group_member[static_cast<std::size_t>(g)] == nullptr) {
+      group_member[static_cast<std::size_t>(g)] = &host;
+    }
+  }
+
+  const auto& versions = profiles::mqtt_software_versions();
+  const auto& topics = profiles::mqtt_topic_prefixes();
+  const std::uint32_t asns[] = {kIiotAsn, kRegionalAsn1, kRegionalAsn2};
+  const int base_index = static_cast<int>(plan.mqtt_hosts.size());
+  for (int i = 0; i < count; ++i) {
+    MqttHostPlan broker;
+    broker.index = base_index + i;
+    broker.asn = asns[static_cast<std::size_t>(i) % 3];
+    // Every 7th broker runs on the same device image as an OPC UA reuse
+    // group (round-robin over the groups that have members).
+    if (i % 7 == 0 && !plan.reuse_groups.empty()) {
+      const std::size_t g = (static_cast<std::size_t>(i) / 7) % plan.reuse_groups.size();
+      if (group_member[g] != nullptr) {
+        broker.reuse_group = plan.reuse_groups[g].id;
+        broker.signature_hash = group_member[g]->certificate.signature_hash;
+        broker.key_bits = plan.reuse_groups[g].key_bits;
+        broker.not_before_days = group_member[g]->certificate.not_before_days;
+      }
+    }
+    if (broker.reuse_group < 0) {
+      broker.signature_hash = i % 4 == 1 ? HashAlgorithm::sha1 : HashAlgorithm::sha256;
+      broker.key_bits = i % 4 == 1 ? 1024 : 2048;
+      broker.not_before_days =
+          days_from_civil({2018, 1, 1}) + static_cast<std::int64_t>(rng.below(900));
+    }
+    broker.legacy_tls = i % 3 == 1;
+    broker.anonymous_allowed = i % 4 == 0;
+    broker.client_cert_auth = i % 5 == 2;
+    broker.software_version = versions[static_cast<std::size_t>(i) % versions.size()];
+    broker.topics = {topics[static_cast<std::size_t>(i) % topics.size()] + "status",
+                     topics[static_cast<std::size_t>(i) % topics.size()] + "telemetry"};
+    if (i % 11 == 7) broker.arrival_week = 3;   // late arrivals
+    if (i % 13 == 9) broker.absence_mask = 1u << 5;  // one-week flappers
+    plan.mqtt_hosts.push_back(std::move(broker));
+  }
+}
+
+}  // namespace opcua_study

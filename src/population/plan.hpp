@@ -126,6 +126,38 @@ struct HostPlan {
   }
 };
 
+/// A simulated MQTT-over-TLS broker — the second protocol family of the
+/// plugin scan layer (scanner/protocol.hpp). Brokers carry TLS posture,
+/// not OPC UA endpoint lists, so they get their own plan type; the fleet
+/// stays empty unless add_mqtt_population() is called, keeping the default
+/// deployment byte-identical to the pre-registry population.
+struct MqttHostPlan {
+  int index = 0;
+  std::uint32_t asn = 0;
+  std::uint16_t port = 8883;  // kMqttTlsDefaultPort (scanner/record.hpp)
+  /// >= 0: the broker presents the same certificate and private key as the
+  /// OPC UA reuse group — one device image running both services. The
+  /// deployer resolves this to the group's KeyFactory label, so the DER is
+  /// byte-identical to the OPC UA fleet certificate.
+  int reuse_group = -1;
+  HashAlgorithm signature_hash = HashAlgorithm::sha256;
+  std::size_t key_bits = 2048;
+  std::int64_t not_before_days = 0;
+  /// Only deprecated TLS suites — the posture analog of a deprecated
+  /// OPC UA security policy (drives is_deficient()).
+  bool legacy_tls = false;
+  bool anonymous_allowed = false;  // CONNECT succeeds without credentials
+  bool client_cert_auth = false;   // accepts mutual-TLS authentication
+  std::string software_version = "mosquitto/1.6.9";
+  std::vector<std::string> topics;
+
+  int arrival_week = 0;
+  std::uint8_t absence_mask = 0;  // bit w set = offline in week w
+  bool present_in_week(int week) const {
+    return week >= arrival_week && ((absence_mask >> week) & 1) == 0;
+  }
+};
+
 /// Reuse-group metadata (§5.3): group 0 is the 385-host / 24-AS cluster.
 struct ReuseGroupPlan {
   int id = 0;
@@ -140,6 +172,8 @@ struct PopulationPlan {
   std::vector<ReuseGroupPlan> reuse_groups;
   /// discovery host index -> indices of hosts it references.
   std::vector<std::pair<int, int>> discovery_references;
+  /// MQTT-over-TLS brokers; empty unless add_mqtt_population() was called.
+  std::vector<MqttHostPlan> mqtt_hosts;
 
   std::vector<const HostPlan*> servers_in_week(int week) const;
   std::vector<const HostPlan*> discovery_in_week(int week) const;
@@ -157,5 +191,13 @@ struct WeeklyTargets {
 
 /// Build the full calibrated population (1114 servers + discovery fleet).
 PopulationPlan build_population_plan(std::uint64_t seed);
+
+/// Grow `count` MQTT-over-TLS brokers into plan.mqtt_hosts (deterministic
+/// in `seed`). A slice of the fleet shares certificates with the OPC UA
+/// reuse groups already in the plan — the cross-protocol device images the
+/// matcher must *not* link (series/matcher.cpp) — the rest get their own
+/// keys with a deterministic mix of legacy TLS, anonymous access, and
+/// arrival/flap behaviour.
+void add_mqtt_population(PopulationPlan& plan, std::uint64_t seed, int count);
 
 }  // namespace opcua_study

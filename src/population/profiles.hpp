@@ -80,6 +80,23 @@ inline const std::vector<std::string>& variable_names() {
   return kNames;
 }
 
+// Broker banners / announced topic prefixes for the MQTT-over-TLS family
+// (the second protocol backend, scanner/protocol.hpp). Versions mirror the
+// broker mix TLS/MQTT scans report in the wild.
+inline const std::vector<std::string>& mqtt_software_versions() {
+  static const std::vector<std::string> kVersions = {
+      "mosquitto/1.6.9", "mosquitto/2.0.11", "emqx/4.2.3", "HiveMQ/4.5.1", "VerneMQ/1.11.0",
+  };
+  return kVersions;
+}
+
+inline const std::vector<std::string>& mqtt_topic_prefixes() {
+  static const std::vector<std::string> kTopics = {
+      "factory/line1/", "energy/meters/", "parking/lots/", "water/pumps/", "building/hvac/",
+  };
+  return kTopics;
+}
+
 inline const std::vector<std::string>& method_names() {
   static const std::vector<std::string> kNames = {
       "AddEndpoint", "Start",         "Stop",        "ResetCounters",

@@ -16,30 +16,51 @@ bool Campaign::excluded(Ipv4 ip) const {
                      [ip](const Cidr& c) { return c.contains(ip); });
 }
 
-std::vector<Ipv4> Campaign::sweep(ScanSnapshot& snapshot, int measurement_index) {
-  std::vector<Ipv4> open_hosts;
+std::vector<ProtocolTarget> Campaign::targets() const {
+  if (!config_.protocols.empty()) return config_.protocols;
+  return {ProtocolTarget{ProtocolId::opcua, config_.port}};
+}
+
+std::vector<Campaign::OpenHost> Campaign::sweep(ScanSnapshot& snapshot, int measurement_index) {
+  std::vector<OpenHost> open_hosts;
+  const std::vector<ProtocolTarget> profiles = targets();
   if (config_.oracle_sweep) {
-    auto endpoints = network_.bound_endpoints();
-    // Randomized order, like zmap's permutation.
-    Rng order(config_.seed ^ static_cast<std::uint64_t>(measurement_index));
-    std::vector<Ipv4> candidates;
-    for (const auto& [ip, port] : endpoints) {
-      if (port == config_.port) candidates.push_back(ip);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    order.shuffle(candidates);
-    for (Ipv4 ip : candidates) {
-      if (excluded(ip)) continue;
-      ++snapshot.probes_sent;
-      if (network_.syn_probe(ip, config_.port)) open_hosts.push_back(ip);
+    const auto endpoints = network_.bound_endpoints();
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const ProtocolTarget& profile = profiles[pi];
+      // Randomized order, like zmap's permutation. Profile 0 keeps the
+      // historic seed ^ week stream, so a single-protocol campaign sweeps
+      // in exactly the pre-registry order; later profiles get their own
+      // streams via the high word.
+      Rng order(config_.seed ^ static_cast<std::uint64_t>(measurement_index) ^
+                (static_cast<std::uint64_t>(pi) << 32));
+      std::vector<Ipv4> candidates;
+      for (const auto& [ip, port] : endpoints) {
+        if (port == profile.port) candidates.push_back(ip);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      order.shuffle(candidates);
+      for (Ipv4 ip : candidates) {
+        if (excluded(ip)) continue;
+        ++snapshot.probes_sent;
+        if (network_.syn_probe(ip, profile.port)) {
+          open_hosts.push_back(OpenHost{ip, profile.port, profile.protocol});
+        }
+      }
     }
   } else {
-    AddressSweep sweep(config_.universe,
-                       config_.seed + static_cast<std::uint64_t>(measurement_index));
-    while (auto ip = sweep.next()) {
-      if (excluded(*ip)) continue;
-      ++snapshot.probes_sent;
-      if (network_.syn_probe(*ip, config_.port)) open_hosts.push_back(*ip);
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const ProtocolTarget& profile = profiles[pi];
+      AddressSweep sweep(config_.universe, config_.seed +
+                                               static_cast<std::uint64_t>(measurement_index) +
+                                               (static_cast<std::uint64_t>(pi) << 32));
+      while (auto ip = sweep.next()) {
+        if (excluded(*ip)) continue;
+        ++snapshot.probes_sent;
+        if (network_.syn_probe(*ip, profile.port)) {
+          open_hosts.push_back(OpenHost{*ip, profile.port, profile.protocol});
+        }
+      }
     }
   }
   return open_hosts;
@@ -51,22 +72,24 @@ ScanSnapshot Campaign::run(int measurement_index) {
   snapshot.date_days = measurement_days(measurement_index);
   network_.clock().reset(snapshot.date_days);
 
-  // Phase 1: port sweep.
-  const std::vector<Ipv4> open_hosts = sweep(snapshot, measurement_index);
+  // Phase 1: port sweep (one pass per protocol target, in mix order).
+  const std::vector<OpenHost> open_hosts = sweep(snapshot, measurement_index);
   snapshot.tcp_open_count = open_hosts.size();
 
   // Phase 2: interleaved application-layer grab of every open host. The
   // scheduler keeps max_in_flight hosts active; ids continue across waves
-  // exactly like the old per-campaign grab counter.
+  // exactly like the old per-campaign grab counter. Mixed-protocol grabs
+  // share the scheduler (and the event heap), so heterogeneous hosts
+  // interleave — deterministically, because launch order is sweep order.
   ScanScheduler scheduler(config_.grabber, network_,
                           config_.seed * 1000003 + static_cast<std::uint64_t>(measurement_index),
                           config_.max_in_flight);
-  for (Ipv4 ip : open_hosts) scheduler.enqueue(ip, config_.port);
+  for (const OpenHost& host : open_hosts) scheduler.enqueue(host.ip, host.port, host.protocol);
   std::vector<HostScanRecord> records = scheduler.drain();
 
   std::set<std::pair<Ipv4, std::uint16_t>> scanned;
   std::vector<std::pair<Ipv4, std::uint16_t>> referenced;
-  for (Ipv4 ip : open_hosts) scanned.insert({ip, config_.port});
+  for (const OpenHost& host : open_hosts) scanned.insert({host.ip, host.port});
   for (auto& record : records) {
     for (const auto& target : record.referenced_targets) referenced.push_back(target);
     if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));

@@ -16,6 +16,12 @@ struct CampaignConfig {
   /// the whole universe — outcome-equivalent to the LFSR sweep and O(hosts).
   bool oracle_sweep = true;
   std::uint16_t port = kOpcUaDefaultPort;
+  /// Protocol mix of the campaign. Empty = the legacy single-profile sweep
+  /// of `port` with the OPC UA backend (byte-identical to the pre-registry
+  /// engine). Non-empty: one sweep pass per target, in list order, each on
+  /// its own port; grabs from every pass share one scheduler and
+  /// interleave on the event heap. Ports must be pairwise distinct.
+  std::vector<ProtocolTarget> protocols;
   /// Opt-out prefixes (the paper excludes 5.79 M addresses, §A.2).
   std::vector<Cidr> exclusions;
   /// Follow endpoint references to other host/port combinations — the paper
@@ -38,8 +44,17 @@ class Campaign {
 
   bool excluded(Ipv4 ip) const;
 
+  /// The effective protocol mix: config.protocols, or the legacy
+  /// single-OPC-UA profile of config.port when the list is empty.
+  std::vector<ProtocolTarget> targets() const;
+
  private:
-  std::vector<Ipv4> sweep(ScanSnapshot& snapshot, int measurement_index);
+  struct OpenHost {
+    Ipv4 ip = 0;
+    std::uint16_t port = 0;
+    ProtocolId protocol = ProtocolId::opcua;
+  };
+  std::vector<OpenHost> sweep(ScanSnapshot& snapshot, int measurement_index);
 
   CampaignConfig config_;
   Network& network_;

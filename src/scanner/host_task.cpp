@@ -5,29 +5,9 @@
 namespace opcua_study {
 
 std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url) {
-  constexpr std::string_view kScheme = "opc.tcp://";
-  if (url.rfind(kScheme, 0) != 0) return std::nullopt;
-  std::string rest = url.substr(kScheme.size());
-  const auto slash = rest.find('/');
-  if (slash != std::string::npos) rest = rest.substr(0, slash);
-  const auto colon = rest.find(':');
-  std::uint16_t port = kOpcUaDefaultPort;
-  std::string host = rest;
-  if (colon != std::string::npos) {
-    host = rest.substr(0, colon);
-    try {
-      const int parsed = std::stoi(rest.substr(colon + 1));
-      if (parsed < 1 || parsed > 65535) return std::nullopt;
-      port = static_cast<std::uint16_t>(parsed);
-    } catch (const std::exception&) {
-      return std::nullopt;  // empty, non-numeric, or > INT_MAX
-    }
-  }
-  try {
-    return std::make_pair(parse_ipv4(host), port);
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;  // hostname-based URL; the study follows IPs only
-  }
+  const auto parsed = parse_endpoint_url(url);
+  if (!parsed || parsed->protocol != ProtocolId::opcua) return std::nullopt;
+  return std::make_pair(parsed->ip, parsed->port);
 }
 
 HostGrabTask::HostGrabTask(const GrabberConfig& config, Network& network, std::uint64_t seed,

@@ -36,23 +36,20 @@
 #include "netsim/network.hpp"
 #include "opcua/client.hpp"
 #include "scanner/grabber.hpp"
+#include "scanner/protocol.hpp"
 #include "scanner/record.hpp"
 #include "util/rng.hpp"
 
 namespace opcua_study {
 
-/// Parse "opc.tcp://a.b.c.d:port/..." into (ip, port). Rejects hostname
-/// URLs (the study follows IPs only) and out-of-range ports.
+/// Parse "opc.tcp://a.b.c.d:port/..." into (ip, port). Kept as an alias of
+/// the scheme-aware parse_endpoint_url (scanner/protocol.hpp), restricted
+/// to the OPC UA scheme exactly like the original parser.
 std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url);
 
-class HostGrabTask {
+class HostGrabTask : public ProbeTask {
  public:
-  struct Step {
-    /// Simulated time consumed by this step plus the pacing delay before
-    /// the next one: schedule the next step() this far in the future.
-    std::uint64_t wait_us = 0;
-    bool done = false;
-  };
+  using Step = ProbeTask::Step;
 
   /// `task_id` feeds the per-grab RNG streams ("grab-N" / "sess-N"); the
   /// scheduler assigns ids in launch order so a concurrent campaign draws
@@ -61,21 +58,21 @@ class HostGrabTask {
   /// host in flight).
   HostGrabTask(const GrabberConfig& config, Network& network, std::uint64_t seed,
                std::uint64_t task_id, Ipv4 ip, std::uint16_t port);
-  ~HostGrabTask();
+  ~HostGrabTask() override;
 
   HostGrabTask(const HostGrabTask&) = delete;
   HostGrabTask& operator=(const HostGrabTask&) = delete;
 
   /// Execute the next unit of work (everything up to the next pacing gap).
-  Step step();
+  Step step() override;
 
-  bool done() const { return phase_ == Phase::Done; }
+  bool done() const override { return phase_ == Phase::Done; }
   Ipv4 ip() const { return ip_; }
   std::uint16_t port() const { return port_; }
   /// Task-local simulated time since the task started.
   std::uint64_t elapsed_us() const { return elapsed_us_; }
   const HostScanRecord& record() const { return record_; }
-  HostScanRecord take_record() { return std::move(record_); }
+  HostScanRecord take_record() override { return std::move(record_); }
 
  private:
   enum class Phase {

@@ -6,6 +6,14 @@
 
 namespace opcua_study {
 
+std::string protocol_name(ProtocolId id) {
+  switch (id) {
+    case ProtocolId::opcua: return "opcua";
+    case ProtocolId::mqtt_tls: return "mqtt-tls";
+  }
+  return "protocol-" + std::to_string(static_cast<unsigned>(id));
+}
+
 std::vector<MessageSecurityMode> HostScanRecord::advertised_modes() const {
   std::vector<MessageSecurityMode> out;
   for (const auto& ep : endpoints) {

@@ -13,6 +13,21 @@
 
 namespace opcua_study {
 
+/// Protocol family a record was measured with. OPC UA is backend 0 so a
+/// default-constructed record — and every record written before the
+/// protocol column existed — reads back as OPC UA.
+enum class ProtocolId : std::uint8_t {
+  opcua = 0,
+  mqtt_tls = 1,
+};
+
+inline constexpr std::uint8_t kProtocolCount = 2;
+inline constexpr std::uint16_t kMqttTlsDefaultPort = 8883;
+
+/// Stable registry name ("opcua", "mqtt-tls"); "protocol-<n>" for ids the
+/// build does not know (forward-compat error messages).
+std::string protocol_name(ProtocolId id);
+
 /// One advertised endpoint, as seen in a GetEndpoints response.
 struct EndpointObservation {
   std::string url;
@@ -67,8 +82,14 @@ struct NodeObservation {
 struct HostScanRecord {
   Ipv4 ip = 0;
   std::uint16_t port = kOpcUaDefaultPort;
+  /// Backend that produced this record. opcua (0) for every record written
+  /// before the protocol column existed.
+  ProtocolId protocol = ProtocolId::opcua;
   std::uint32_t asn = 0;
   bool tcp_open = false;
+  /// The host completed the probed protocol's application-layer handshake
+  /// (named for the original OPC UA-only scanner; an MQTT record sets it
+  /// when the broker finished the TLS + CONNECT exchange).
   bool speaks_opcua = false;
   bool found_via_reference = false;  // reached through a discovery server
 

@@ -11,23 +11,30 @@ ScanScheduler::ScanScheduler(GrabberConfig config, Network& network, std::uint64
       seed_(seed),
       max_in_flight_(std::max<std::size_t>(1, max_in_flight)) {}
 
-void ScanScheduler::enqueue(Ipv4 ip, std::uint16_t port) { pending_.emplace_back(ip, port); }
+void ScanScheduler::enqueue(Ipv4 ip, std::uint16_t port, ProtocolId protocol) {
+  pending_.push_back(Target{ip, port, protocol});
+}
 
 void ScanScheduler::launch_next() {
   if (pending_.empty()) return;
-  const auto [ip, port] = pending_.front();
+  const Target target = pending_.front();
   pending_.pop_front();
   const std::size_t result_index = next_result_++;
-  auto task = std::make_shared<HostGrabTask>(config_, network_, seed_, ++task_counter_, ip, port);
+  // The registry supplies the state machine; the id sequence is shared
+  // across backends, so a mixed fleet assigns the same ids — and draws the
+  // same task-keyed RNG streams — as any other launch of the same sweep.
+  std::shared_ptr<ProbeTask> task = protocol_probe(target.protocol)
+                                        .make_task(config_, network_, seed_, ++task_counter_,
+                                                   target.ip, target.port);
   // First step fires "now": the sweep already paid the probe cost.
   network_.scheduler().schedule_in(0, [this, task, result_index] {
     step_task(task, result_index);
   });
 }
 
-void ScanScheduler::step_task(const std::shared_ptr<HostGrabTask>& task,
+void ScanScheduler::step_task(const std::shared_ptr<ProbeTask>& task,
                               std::size_t result_index) {
-  const HostGrabTask::Step step = task->step();
+  const ProbeTask::Step step = task->step();
   if (!step.done) {
     network_.scheduler().schedule_in(step.wait_us, [this, task, result_index] {
       step_task(task, result_index);

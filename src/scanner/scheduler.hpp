@@ -13,6 +13,12 @@
 // the records a campaign produces are identical for any max_in_flight — a
 // property the regression tests pin down. With max_in_flight = 1 the event
 // timeline degenerates to the sequential scanner's, byte for byte.
+//
+// The scheduler is protocol-agnostic: every target names a registered
+// ProtocolProbe backend and the scheduler drives whatever ProbeTask the
+// registry hands back. Heterogeneous targets (OPC UA + MQTT/TLS) share
+// one event heap and one id sequence, so a mixed fleet interleaves
+// deterministically under the same launch-order contract.
 #pragma once
 
 #include <deque>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "scanner/host_task.hpp"
+#include "scanner/protocol.hpp"
 
 namespace opcua_study {
 
@@ -29,8 +36,10 @@ class ScanScheduler {
                 std::size_t max_in_flight = 256);
 
   /// Queue a host for grabbing. Order matters: ids (and therefore RNG
-  /// streams) are assigned in this order.
-  void enqueue(Ipv4 ip, std::uint16_t port);
+  /// streams) are assigned in this order. `protocol` selects the registry
+  /// backend that drives the grab; the default keeps the historic
+  /// OPC UA-only call sites unchanged.
+  void enqueue(Ipv4 ip, std::uint16_t port, ProtocolId protocol = ProtocolId::opcua);
 
   /// Run until every queued host is done; returns records in enqueue
   /// order. May be called again after feeding more targets (the campaign's
@@ -42,8 +51,14 @@ class ScanScheduler {
   std::uint64_t tasks_launched() const { return task_counter_; }
 
  private:
+  struct Target {
+    Ipv4 ip = 0;
+    std::uint16_t port = 0;
+    ProtocolId protocol = ProtocolId::opcua;
+  };
+
   void launch_next();
-  void step_task(const std::shared_ptr<HostGrabTask>& task, std::size_t result_index);
+  void step_task(const std::shared_ptr<ProbeTask>& task, std::size_t result_index);
 
   GrabberConfig config_;
   Network& network_;
@@ -51,7 +66,7 @@ class ScanScheduler {
   std::size_t max_in_flight_;
   std::uint64_t task_counter_ = 0;
 
-  std::deque<std::pair<Ipv4, std::uint16_t>> pending_;
+  std::deque<Target> pending_;
   std::vector<HostScanRecord> results_;
   std::size_t next_result_ = 0;
   std::size_t completed_ = 0;

@@ -32,6 +32,7 @@ constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
 constexpr std::uint32_t kFooterMagic = 0x544f4f46; // "FOOT"
 constexpr std::uint32_t kDictMagic = 0x43494443;   // "CDIC"
 constexpr std::uint32_t kCampaignMagic = 0x504d4143;  // "CAMP"
+constexpr std::uint32_t kProtocolMagic = 0x544f5250;  // "PROT"
 constexpr std::uint32_t kEndMagic = 0x50414e53;    // "SNAP"
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
 constexpr std::size_t kChunkHeaderBytes = 4 + 4 + 4 + 8;        // v5
@@ -44,6 +45,27 @@ constexpr std::uint64_t kMaxChunks = 1u << 26;
 constexpr std::uint64_t kMaxDictEntries = 1u << 26;
 
 std::string version_tag(std::uint32_t version) { return "v" + std::to_string(version); }
+
+/// "opcua+mqtt-tls" for a protocol mask (bit p = protocol id p).
+std::string protocol_set_name(std::uint32_t mask) {
+  std::string s;
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    if (mask & (1u << p)) {
+      if (!s.empty()) s += "+";
+      s += protocol_name(static_cast<ProtocolId>(p));
+    }
+  }
+  return s;
+}
+
+/// Error-message context naming what protocol family the failing data
+/// claims to hold: "protocols=opcua+mqtt-tls" for v6 (a v6 file without a
+/// protocol block is OPC-UA-only by construction), "pre-protocol v5/v4"
+/// for the row formats, which predate the protocol column entirely.
+std::string protocol_context(std::uint32_t version, std::uint32_t mask) {
+  if (version != kVersionV6) return "pre-protocol " + version_tag(version);
+  return "protocols=" + (mask == 0 ? std::string("opcua") : protocol_set_name(mask));
+}
 
 /// v6 chunk payloads are padded so every chunk header lands on an 8-byte
 /// boundary (the header itself is 24 bytes, the file header 16): typed
@@ -81,6 +103,12 @@ void write_host(UaWriter& w, const HostScanRecord& host) {
     throw SnapshotError(
         "v5/v4 snapshot formats cannot encode scan-quality fields; "
         "write fault-injected campaigns as v6");
+  }
+  // Same stance for the protocol column: pre-protocol formats would decode
+  // an MQTT broker as an OPC UA server, so refuse rather than lose the id.
+  if (host.protocol != ProtocolId::opcua) {
+    throw SnapshotError("v5/v4 snapshot formats cannot encode non-OPC-UA records (got " +
+                        protocol_name(host.protocol) + "); write mixed campaigns as v6");
   }
   w.u32(host.ip);
   w.u16(host.port);
@@ -411,6 +439,18 @@ HostScanRecord read_host_v6(const SnapshotReader& reader, const V6Layout& lay, s
       throw DecodeError("snapshot record: all-zero scan-quality tail (non-canonical)");
     }
   }
+  if (flags & snapshot_flags::kProtocol) {
+    const std::uint8_t protocol = r.byte();
+    if (protocol == 0) {
+      throw DecodeError(
+          "snapshot record: zero protocol tail byte (non-canonical; OPC UA records carry "
+          "no protocol tail)");
+    }
+    if (protocol >= kProtocolCount) {
+      throw DecodeError("snapshot record: invalid protocol value " + std::to_string(protocol));
+    }
+    host.protocol = static_cast<ProtocolId>(protocol);
+  }
   if (!r.done()) throw DecodeError("var record longer than its fields");
 
   // Cross-check every derived representation against the decoded record.
@@ -694,6 +734,8 @@ void SnapshotWriter::add_host_v6(const HostScanRecord& host) {
   const bool scan_quality = host.completeness != ProbeOutcome::complete ||
                             host.retries != 0 || host.fault_events != 0;
   if (scan_quality) flags |= snapshot_flags::kScanQuality;
+  const bool foreign_protocol = host.protocol != ProtocolId::opcua;
+  if (foreign_protocol) flags |= snapshot_flags::kProtocol;
   c.flags.push_back(flags);
 
   // Per-endpoint pass: derived masks + dictionary interning. The head id
@@ -777,6 +819,10 @@ void SnapshotWriter::add_host_v6(const HostScanRecord& host) {
     w.u16(host.retries);
     w.u16(host.fault_events);
   }
+  // The protocol byte is always the last byte of the slice, so columnar
+  // consumers can peel it off without a cursor walk (nonzero by
+  // construction: protocol 0 never sets the flag).
+  if (foreign_protocol) w.byte(static_cast<std::uint8_t>(host.protocol));
   if (w.bytes().size() > std::numeric_limits<std::uint32_t>::max()) {
     throw SnapshotError("chunk var column exceeds 4 GiB; lower chunk_records: " + path_);
   }
@@ -793,6 +839,7 @@ void SnapshotWriter::add_host(const HostScanRecord& host) {
     const Bytes& encoded = w.bytes();
     chunk_buf_.insert(chunk_buf_.end(), encoded.begin(), encoded.end());
   }
+  snapshots_.back().protocol_mask |= 1u << static_cast<std::uint32_t>(host.protocol);
   ++buffered_records_;
   ++snapshots_.back().host_count;
   if (buffered_records_ >= chunk_records_) flush_chunk();
@@ -915,6 +962,17 @@ void SnapshotWriter::finish() {
     for (const auto& meta : snapshots_) {
       w.string(meta.campaign_label);
       w.i64(meta.campaign_epoch_days);
+    }
+  }
+  if (format_version_ == kVersionV6) {
+    // The protocol block exists only for mixed fleets: an OPC-UA-only
+    // campaign omits it (readers leave every mask 0 = undeclared) and the
+    // file stays byte-identical to pre-protocol output.
+    bool any_foreign = false;
+    for (const auto& meta : snapshots_) any_foreign |= (meta.protocol_mask & ~1u) != 0;
+    if (any_foreign) {
+      w.u32(kProtocolMagic);
+      for (const auto& meta : snapshots_) w.u32(meta.protocol_mask);
     }
   }
   w.u64(footer_offset);
@@ -1244,15 +1302,28 @@ void SnapshotReader::open_v6(std::uint64_t file_size) {
       min_offset = chunk.file_offset + kV6ChunkHeaderBytes + chunk.payload_bytes +
                    v6_padding(chunk.payload_bytes);
     }
-    if (!r.done()) {
-      // Optional campaign block, exactly as in v5.
-      if (r.u32() != kCampaignMagic) throw DecodeError("bad campaign block magic");
-      for (std::uint32_t i = 0; i < snapshot_count; ++i) {
-        snapshots_[i].campaign_label = r.string();
-        snapshots_[i].campaign_epoch_days = r.i64();
+    // Optional blocks, each at most once, in write order: campaign
+    // identity ('CAMP'), then per-snapshot protocol masks ('PROT').
+    // Files predating either block simply end after the dictionary info.
+    bool saw_campaign = false;
+    bool saw_protocol = false;
+    while (!r.done()) {
+      const std::uint32_t block_magic = r.u32();
+      if (block_magic == kCampaignMagic && !saw_campaign && !saw_protocol) {
+        saw_campaign = true;
+        for (std::uint32_t i = 0; i < snapshot_count; ++i) {
+          snapshots_[i].campaign_label = r.string();
+          snapshots_[i].campaign_epoch_days = r.i64();
+        }
+      } else if (block_magic == kProtocolMagic && !saw_protocol) {
+        saw_protocol = true;
+        for (std::uint32_t i = 0; i < snapshot_count; ++i) {
+          snapshots_[i].protocol_mask = r.u32();
+        }
+      } else {
+        throw DecodeError("bad optional footer block magic");
       }
     }
-    if (!r.done()) throw DecodeError("trailing bytes in footer");
     for (std::uint32_t i = 0; i < snapshot_count; ++i) {
       if (records_seen[i] != snapshots_[i].host_count) {
         throw DecodeError("snapshot " + std::to_string(i) + " indexes " +
@@ -1294,9 +1365,11 @@ void SnapshotReader::open_v6(std::uint64_t file_size) {
     }
     if (!d.done()) throw DecodeError("trailing bytes in certificate dictionary");
   } catch (const DecodeError& e) {
-    throw SnapshotError("corrupt certificate dictionary in " + path_ +
-                        " (v6, dictionary at byte " + std::to_string(dict_offset) + "): " +
-                        e.what());
+    std::uint32_t mask = 0;
+    for (const auto& meta : snapshots_) mask |= meta.protocol_mask;
+    throw SnapshotError("corrupt certificate dictionary in " + path_ + " (v6, " +
+                        protocol_context(version_, mask) + ", dictionary at byte " +
+                        std::to_string(dict_offset) + "): " + e.what());
   }
 }
 
@@ -1372,9 +1445,11 @@ void SnapshotReader::read_chunk(std::size_t chunk_index,
     for (std::uint32_t i = 0; i < info.record_count; ++i) out.push_back(read_host(r));
     if (!r.done()) throw DecodeError("chunk payload longer than its records");
   } catch (const DecodeError& e) {
-    throw SnapshotError("corrupt chunk " + std::to_string(chunk_index) + " in " + path_ + " (" +
-                        version_tag(version_) + ", chunk at byte " +
-                        std::to_string(info.file_offset) + "): " + e.what());
+    throw SnapshotError(
+        "corrupt chunk " + std::to_string(chunk_index) + " in " + path_ + " (" +
+        version_tag(version_) + ", " +
+        protocol_context(version_, snapshots_[info.snapshot_ordinal].protocol_mask) +
+        ", chunk at byte " + std::to_string(info.file_offset) + "): " + e.what());
   }
 }
 
@@ -1419,9 +1494,10 @@ ColumnView SnapshotReader::column_view(std::size_t chunk_index) const {
     view.var_blob = {lay.var, static_cast<std::size_t>(lay.var_bytes)};
     return view;
   } catch (const DecodeError& e) {
-    throw SnapshotError("corrupt chunk " + std::to_string(chunk_index) + " in " + path_ +
-                        " (v6, chunk at byte " + std::to_string(info.file_offset) + "): " +
-                        e.what());
+    throw SnapshotError(
+        "corrupt chunk " + std::to_string(chunk_index) + " in " + path_ + " (v6, " +
+        protocol_context(version_, snapshots_[info.snapshot_ordinal].protocol_mask) +
+        ", chunk at byte " + std::to_string(info.file_offset) + "): " + e.what());
   }
 }
 
@@ -1514,7 +1590,20 @@ bool campaign_declared(const SnapshotMeta& meta) {
 void validate_campaign_chain(const std::vector<SnapshotMeta>& members) {
   const SnapshotMeta* prev = nullptr;        // last declared member
   const SnapshotMeta* prev_epoch = nullptr;  // last declared member with a non-zero epoch
+  const SnapshotMeta* prev_proto = nullptr;  // last member with a declared protocol mask
   for (const SnapshotMeta& member : members) {
+    // Protocol sets must agree across the whole chain: a series mixing an
+    // OPC-UA-only campaign with a mixed-fleet one would diff incomparable
+    // populations. Mask 0 (pre-protocol files) anchors nothing.
+    if (member.protocol_mask != 0) {
+      if (prev_proto != nullptr && prev_proto->protocol_mask != member.protocol_mask) {
+        throw SnapshotError("campaign chain: campaign '" + member.campaign_label + "' scans " +
+                            protocol_set_name(member.protocol_mask) +
+                            " but its predecessor '" + prev_proto->campaign_label + "' scans " +
+                            protocol_set_name(prev_proto->protocol_mask));
+      }
+      prev_proto = &member;
+    }
     if (!campaign_declared(member)) continue;  // legacy input: nothing to anchor
     if (prev != nullptr && prev->campaign_label == member.campaign_label &&
         prev->campaign_epoch_days == member.campaign_epoch_days) {

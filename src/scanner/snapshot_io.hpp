@@ -41,6 +41,11 @@
 //               u8 completeness  u16 retries  u16 fault_events —
 //               at least one field nonzero (an all-zero tail is
 //               non-canonical and rejected)]
+//              [protocol tail, only when flags bit 7 is set: u8
+//               protocol id — always last in the slice, and always
+//               nonzero (OPC UA is protocol 0 and carries no tail, so
+//               single-protocol files stay byte-identical to
+//               pre-registry output; a zero byte is rejected)]
 //            zero padding to the next 8-byte boundary (not indexed;
 //            recomputed as (8 - payload%8) % 8)
 //   dict:    u32 'CDIC'  u32 entry_count
@@ -54,6 +59,9 @@
 //            u64 dict_offset  u64 dict_bytes  u32 dict_count
 //            [optional campaign block — only when a label/epoch was set:
 //             u32 'CAMP'  snapshot*: string campaign_label  i64 epoch_days]
+//            [optional protocol block — only when any record is from a
+//             non-OPC-UA backend: u32 'PROT'  snapshot*: u32 protocol
+//             mask (bit p set = protocol id p present in that week)]
 //   trailer: u64 footer_offset  u32 'SNAP'
 //
 // uri_hash, mode_mask, policy_mask and token_mask are *derived* columns
@@ -109,6 +117,11 @@ struct SnapshotMeta {
   /// zero epoch = undeclared (v4 files and v5 files predating the label).
   std::string campaign_label;
   std::int64_t campaign_epoch_days = 0;
+  /// Bit p set = protocol id p appears in this measurement. 0 =
+  /// undeclared: v4/v5 files, and v6 files whose every record is OPC UA
+  /// (the writer omits the block so such files stay byte-identical to
+  /// pre-protocol output).
+  std::uint32_t protocol_mask = 0;
 
   friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
 };
@@ -136,7 +149,12 @@ inline constexpr std::uint8_t kTraversalTruncated = 1u << 5;
 /// slice). Only set when any quality field is nonzero, so fault-free
 /// files stay byte-identical to pre-fault output.
 inline constexpr std::uint8_t kScanQuality = 1u << 6;
-inline constexpr std::uint8_t kAllFlags = (1u << 7) - 1;
+/// Record carries a protocol tail (1 byte, the very end of its var
+/// slice). Only set for non-OPC-UA backends — protocol 0 records carry
+/// no tail, so OPC-UA-only files stay byte-identical to pre-registry
+/// output, and a zero tail byte is rejected as non-canonical.
+inline constexpr std::uint8_t kProtocol = 1u << 7;
+inline constexpr std::uint8_t kAllFlags = 0xff;
 }  // namespace snapshot_flags
 
 /// The v6 "no certificate" sentinel in endpoint cert_id slots.
@@ -383,7 +401,10 @@ bool campaign_declared(const SnapshotMeta& meta);
 /// across label-only members in between), and no two consecutive declared
 /// members may carry the same (label, epoch) identity. Undeclared members
 /// are skipped — a legacy file can sit anywhere in the series without
-/// anchoring the chain. Throws SnapshotError naming the offending link.
+/// anchoring the chain. Members that declare a protocol mask must all
+/// declare the *same* mask (a diff between an OPC-UA-only campaign and a
+/// mixed fleet is apples-to-oranges); mask-0 members — pre-protocol files
+/// — are exempt. Throws SnapshotError naming the offending link.
 /// The old pairwise DiffOptions::validate_pairing check is this helper
 /// applied to a two-member series.
 void validate_campaign_chain(const std::vector<SnapshotMeta>& members);

@@ -18,6 +18,7 @@ HostPosture absorb(const HostScanRecord& host) {
   HostPosture p;
   p.ip = host.ip;
   p.port = host.port;
+  p.protocol = host.protocol;
   p.asn = host.asn;
   p.uri_hash = host.application_uri.empty() ? 0 : hash64(host.application_uri);
 
@@ -90,6 +91,19 @@ HostPosture absorb_columnar(const ColumnView& view, std::size_t i,
   p.port = view.port[i];
   p.asn = view.asn[i];
   p.uri_hash = view.uri_hash[i];
+  if (view.flags[i] & snapshot_flags::kProtocol) {
+    // The protocol tail is the last byte of the var slice (after the
+    // scan-quality tail, when both are present) — no cursor walk needed.
+    const std::uint32_t end = view.var_offsets[i + 1];
+    if (end == view.var_offsets[i]) {
+      throw DecodeError("var record too short for its protocol tail");
+    }
+    const std::uint8_t code = view.var_blob[end - 1];
+    if (code == 0 || code >= kProtocolCount) {
+      throw DecodeError("snapshot record: invalid protocol value " + std::to_string(code));
+    }
+    p.protocol = static_cast<ProtocolId>(code);
+  }
 
   const std::uint8_t mode_mask = view.mode_mask[i];
   p.mode_bucket = (mode_mask & (1u << static_cast<int>(MessageSecurityMode::SignAndEncrypt)))  ? 2
@@ -134,7 +148,10 @@ HostPosture absorb_columnar(const ColumnView& view, std::size_t i,
 }
 
 std::uint64_t address_key(const HostPosture& p) {
-  return static_cast<std::uint64_t>(p.ip) << 16 | p.port;
+  // Protocol in the high bits: the same (ip, port) answering a different
+  // protocol is a different endpoint identity.
+  return static_cast<std::uint64_t>(p.protocol) << 48 |
+         static_cast<std::uint64_t>(p.ip) << 16 | p.port;
 }
 
 /// Certificate-match corroboration: a second identity signal agreeing
@@ -261,6 +278,9 @@ MatchResult match_postures(const std::vector<HostPosture>& base,
       const auto it = base_fps.find(fp);
       if (it == base_fps.end() || it->second.count != 1) continue;
       if (followup_fp_count[fp] != 1 || match.base_matched[it->second.index]) continue;
+      // One device serving two protocols reuses its certificate across
+      // them; that never links an OPC UA identity to an MQTT one.
+      if (base[it->second.index].protocol != followup[bi].protocol) continue;
       match.base_of[bi] = it->second.index;
       match.evidence[bi] = corroborated(base[it->second.index], followup[bi])
                                ? MatchEvidence::cert_corroborated
@@ -278,11 +298,21 @@ CampaignDiff tally_step(const std::vector<HostPosture>& base,
   diff.base_hosts = base.size();
   diff.followup_hosts = followup.size();
 
+  for (const HostPosture& p : base) {
+    ProtocolDiffRow& row = diff.by_protocol[p.protocol];
+    ++row.base_hosts;
+    row.base_deficient += p.deficient;
+  }
+
   for (std::uint32_t bi = 0; bi < followup.size(); ++bi) {
+    ProtocolDiffRow& proto_row = diff.by_protocol[followup[bi].protocol];
+    ++proto_row.followup_hosts;
+    proto_row.followup_deficient += followup[bi].deficient;
     if (match.base_of[bi] == MatchResult::kUnmatched) {
       ++diff.arrived;
       continue;
     }
+    ++proto_row.matched;
     const HostPosture& from = base[match.base_of[bi]];
     const HostPosture& to = followup[bi];
     switch (match.evidence[bi]) {

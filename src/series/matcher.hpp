@@ -35,6 +35,10 @@ namespace opcua_study {
 struct HostPosture {
   Ipv4 ip = 0;
   std::uint16_t port = 0;
+  /// Matching never crosses protocols: an OPC UA server and an MQTT broker
+  /// on the same address are different hosts, and a certificate shared
+  /// across the two (one device, two services) re-identifies neither.
+  ProtocolId protocol = ProtocolId::opcua;
   std::uint32_t asn = 0;           // corroborating evidence for cert matches
   std::uint64_t uri_hash = 0;      // hash64(application_uri), 0 when empty
   std::uint8_t mode_bucket = 0;    // index into kModeBuckets

@@ -115,6 +115,13 @@ std::uint64_t count_deficient(const std::vector<HostPosture>& postures) {
   return deficient;
 }
 
+void split_by_protocol(const std::vector<HostPosture>& postures, SeriesMemberStats& stats) {
+  for (const HostPosture& p : postures) {
+    stats.hosts_by_protocol[p.protocol]++;
+    stats.deficient_by_protocol[p.protocol] += p.deficient;
+  }
+}
+
 }  // namespace
 
 double SeriesAnalysis::mean_link_confidence() const {
@@ -158,6 +165,7 @@ SeriesAnalysis analyze_series(const CampaignSet& set, const SeriesOptions& optio
     stats.meta = finals[0];
     stats.hosts = current.size();
     stats.deficient = count_deficient(current);
+    split_by_protocol(current, stats);
     stats.arrived = current.size();
     out.members.push_back(std::move(stats));
   }
@@ -183,6 +191,7 @@ SeriesAnalysis analyze_series(const CampaignSet& set, const SeriesOptions& optio
     stats.meta = finals[m];
     stats.hosts = next.size();
     stats.deficient = count_deficient(next);
+    split_by_protocol(next, stats);
     stats.matched_from_previous = step.matched();
     stats.arrived = step.arrived;
     out.members[m - 1].retired_into_next = step.retired;
@@ -235,8 +244,17 @@ std::string series_analysis_json(const SeriesAnalysis& analysis) {
         .field("deficient", member.deficient)
         .field("matched_from_previous", member.matched_from_previous)
         .field("arrived", member.arrived)
-        .field("retired_into_next", member.retired_into_next)
-        .end_object();
+        .field("retired_into_next", member.retired_into_next);
+    json.key("protocols").begin_object();
+    for (const auto& [protocol, hosts] : member.hosts_by_protocol) {
+      const auto it = member.deficient_by_protocol.find(protocol);
+      json.key(protocol_name(protocol))
+          .begin_object()
+          .field("hosts", hosts)
+          .field("deficient", it == member.deficient_by_protocol.end() ? 0 : it->second)
+          .end_object();
+    }
+    json.end_object().end_object();
   }
   json.end_array();
   json.key("steps").begin_array();

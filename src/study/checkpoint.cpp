@@ -54,6 +54,15 @@ std::vector<std::string> identity_header(const CheckpointConfig& config) {
   lines.push_back("fault_seed " + std::to_string(effective_fault_seed(config)));
   lines.push_back(std::string("oracle ") + (config.campaign.campaign.oracle_sweep ? "1" : "0"));
   lines.push_back(faults.str());
+  // Only a non-default protocol mix stamps an identity line, so manifests
+  // written before the registry landed keep validating as-is.
+  if (!config.campaign.campaign.protocols.empty()) {
+    std::string protocols = "protocols";
+    for (const ProtocolTarget& target : config.campaign.campaign.protocols) {
+      protocols += ' ' + protocol_name(target.protocol) + ':' + std::to_string(target.port);
+    }
+    lines.push_back(std::move(protocols));
+  }
   return lines;
 }
 
@@ -104,12 +113,6 @@ void save_manifest(const std::string& path, const std::vector<std::string>& head
     std::remove(tmp.c_str());
     throw SnapshotError("cannot move checkpoint manifest into place: " + tmp + " -> " + path);
   }
-}
-
-void install_fault_plan(Network& net, const ShardedCampaignConfig& config) {
-  if (!config.faults.enabled()) return;
-  const std::uint64_t seed = config.fault_seed != 0 ? config.fault_seed : config.campaign.seed;
-  net.set_fault_plan(std::make_unique<FaultPlan>(seed, config.faults));
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+// The one scan-option set every campaign entry point shares.
+//
+// Before this struct, the streamed study, the sharded runner and the
+// checkpointed runner each grew their own copies of the same knobs
+// (shards, worker threads, fault profile, in-flight window) with subtly
+// different spellings. ScanOptions is the single source: the canonical
+// entry points consume it directly and the historical signatures survive
+// as thin wrappers that populate one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netsim/faults.hpp"
+#include "scanner/protocol.hpp"
+
+namespace opcua_study {
+
+struct ScanOptions {
+  /// Population partitions scanned independently. 1 = unsharded (legacy
+  /// sweep-order records); > 1 = shard-major, (ip, port)-sorted batches.
+  int shards = 1;
+  /// Worker threads for the sharded scan; 0 = hardware concurrency. The
+  /// records are identical for any value.
+  int threads = 0;
+  /// Hosts concurrently in flight per campaign (CampaignConfig doc).
+  std::size_t max_in_flight = 256;
+  /// Fault injection installed on every deployed Network after deployment.
+  /// Default-constructed = disabled (no plan attached, nothing drawn).
+  FaultProfile faults;
+  /// Seed of the per-endpoint fault streams; 0 = reuse the campaign seed.
+  /// Streams are keyed by (ip, port), so the injected sequence is
+  /// independent of the shard layout and thread count.
+  std::uint64_t fault_seed = 0;
+  /// Protocol mix of the campaign (CampaignConfig::protocols). Empty =
+  /// the legacy single-profile OPC UA sweep, byte-identical to the
+  /// pre-registry engine.
+  std::vector<ProtocolTarget> protocols;
+};
+
+}  // namespace opcua_study

@@ -17,13 +17,33 @@ void sort_by_endpoint(std::vector<HostScanRecord>& hosts) {
   });
 }
 
+ScanOptions legacy_options(int shards, int threads, std::size_t max_in_flight) {
+  ScanOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  options.max_in_flight = max_in_flight;
+  return options;
+}
+
+}  // namespace
+
+ShardedCampaignConfig make_sharded_config(CampaignConfig campaign, const ScanOptions& options) {
+  ShardedCampaignConfig config;
+  campaign.max_in_flight = options.max_in_flight;
+  campaign.protocols = options.protocols;
+  config.campaign = std::move(campaign);
+  config.shards = options.shards;
+  config.threads = options.threads;
+  config.faults = options.faults;
+  config.fault_seed = options.fault_seed;
+  return config;
+}
+
 void install_fault_plan(Network& net, const ShardedCampaignConfig& config) {
   if (!config.faults.enabled()) return;
   const std::uint64_t seed = config.fault_seed != 0 ? config.fault_seed : config.campaign.seed;
   net.set_fault_plan(std::make_unique<FaultPlan>(seed, config.faults));
 }
-
-}  // namespace
 
 std::uint64_t ShardedRunStats::max_simulated_us() const {
   std::uint64_t max_us = 0;
@@ -194,8 +214,7 @@ SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
   return meta;
 }
 
-ShardedStudy::ShardedStudy(const StudyConfig& config, int shards, std::size_t max_in_flight,
-                           int threads)
+ShardedStudy::ShardedStudy(const StudyConfig& config, const ScanOptions& options)
     : plan_(build_population_plan(config.seed)) {
   DeployConfig deploy_config;
   deploy_config.seed = config.seed;
@@ -205,19 +224,27 @@ ShardedStudy::ShardedStudy(const StudyConfig& config, int shards, std::size_t ma
   deployer_ = std::make_unique<Deployer>(plan_, deploy_config);
 
   KeyFactory scanner_keys(config.seed, config.key_cache_path);
-  config_.campaign.seed = config.seed;
-  config_.campaign.exclusions = deployer_->exclusion_list();
-  config_.campaign.grabber.client = make_scanner_identity(config.seed, scanner_keys);
-  config_.campaign.grabber.traverse_address_space = config.traverse_address_space;
-  config_.campaign.max_in_flight = max_in_flight;
-  config_.shards = shards;
-  config_.threads = threads;
+  CampaignConfig campaign;
+  campaign.seed = config.seed;
+  campaign.exclusions = deployer_->exclusion_list();
+  campaign.grabber.client = make_scanner_identity(config.seed, scanner_keys);
+  campaign.grabber.traverse_address_space = config.traverse_address_space;
+  config_ = make_sharded_config(std::move(campaign), options);
+}
+
+ShardedStudy::ShardedStudy(const StudyConfig& config, int shards, std::size_t max_in_flight,
+                           int threads)
+    : ShardedStudy(config, legacy_options(shards, threads, max_in_flight)) {}
+
+ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week,
+                                     const ScanOptions& options) {
+  ShardedStudy study(config, options);
+  return run_sharded_campaign(study.deployer(), week, study.config());
 }
 
 ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
                                      std::size_t max_in_flight, int threads) {
-  ShardedStudy study(config, shards, max_in_flight, threads);
-  return run_sharded_campaign(study.deployer(), week, study.config());
+  return run_measurement_sharded(config, week, legacy_options(shards, threads, max_in_flight));
 }
 
 }  // namespace opcua_study

@@ -14,6 +14,7 @@
 #include "netsim/faults.hpp"
 #include "population/deploy.hpp"
 #include "scanner/campaign.hpp"
+#include "study/options.hpp"
 #include "study/study.hpp"
 
 namespace opcua_study {
@@ -32,6 +33,15 @@ struct ShardedCampaignConfig {
   /// independent of the shard layout and thread count.
   std::uint64_t fault_seed = 0;
 };
+
+/// Build the per-shard campaign config from the shared scan options —
+/// the canonical construction path; the historical field-by-field setups
+/// are thin wrappers over it.
+ShardedCampaignConfig make_sharded_config(CampaignConfig campaign, const ScanOptions& options);
+
+/// Attach the configured fault plan to a freshly deployed Network (no-op
+/// when the profile is disabled). Shared by every sharded runner.
+void install_fault_plan(Network& net, const ShardedCampaignConfig& config);
 
 struct ShardedRunStats {
   /// Simulated end-of-campaign clock per shard; the campaign's simulated
@@ -65,6 +75,9 @@ SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
 /// lives in the deployer). Non-movable: the deployer references the plan.
 class ShardedStudy {
  public:
+  /// Canonical form: every scan knob comes from the shared ScanOptions.
+  ShardedStudy(const StudyConfig& config, const ScanOptions& options);
+  /// Legacy form, kept so existing call sites compile unchanged.
   ShardedStudy(const StudyConfig& config, int shards, std::size_t max_in_flight = 256,
                int threads = 0);
   ShardedStudy(const ShardedStudy&) = delete;
@@ -81,6 +94,9 @@ class ShardedStudy {
 
 /// The full weekly measurement of the study, sharded. Equivalent host set
 /// to run_measurement(); hosts sorted by (ip, port) instead of sweep order.
+ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week,
+                                     const ScanOptions& options);
+/// Legacy signature, kept so existing call sites compile unchanged.
 ScanSnapshot run_measurement_sharded(const StudyConfig& config, int week, int shards,
                                      std::size_t max_in_flight = 256, int threads = 0);
 

@@ -6,6 +6,7 @@
 #include "population/plan.hpp"
 #include "scanner/campaign.hpp"
 #include "scanner/snapshot_io.hpp"
+#include "study/options.hpp"
 
 namespace opcua_study {
 
@@ -31,7 +32,11 @@ struct StudyConfig {
 ClientConfig make_scanner_identity(std::uint64_t seed, KeyFactory& keys);
 
 /// Run one weekly measurement (rebuilds the simulated Internet for that
-/// week, sweeps, grabs, follows references).
+/// week, sweeps, grabs, follows references). The ScanOptions form applies
+/// the shared knobs — fault profile, protocol mix, in-flight window — to
+/// the single unsharded campaign (shards/threads are ignored here); the
+/// plain form is the all-defaults wrapper.
+ScanSnapshot run_measurement(const StudyConfig& config, int week, const ScanOptions& options);
 ScanSnapshot run_measurement(const StudyConfig& config, int week);
 
 /// Run all eight measurements of the paper's campaign.
@@ -45,6 +50,13 @@ std::vector<ScanSnapshot> run_full_study(const StudyConfig& config);
 /// series. Add the recorded file to a CampaignSet and grow the rest of
 /// the series with extend_series (study/followup.hpp), then feed the set
 /// to analyze_series.
+///
+/// The ScanOptions form is canonical — shards, threads, faults and the
+/// protocol mix all come from the shared options (options.shards wins
+/// over StudyConfig::shards). The two-argument form wraps it, lifting
+/// StudyConfig::shards/scan_threads into an options value.
+void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer,
+                             const ScanOptions& options);
 void run_full_study_streamed(const StudyConfig& config, SnapshotWriter& writer);
 
 }  // namespace opcua_study
