@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "report/report.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -91,7 +92,7 @@ int main() {
                           static_cast<double>(net.clock().now_us()) / 3.6e9);
   };
 
-  std::fprintf(stderr, "[bench] running the pacing-off ablation scan...\n");
+  obs::logf(obs::LogLevel::info, "[bench] running the pacing-off ablation scan...");
   // Same world, pacing disabled (ablation: what the guidelines prevent).
   const ScanSnapshot impolite =
       run_fresh_campaign([](CampaignConfig& c) { c.grabber.budget.inter_request_ms = 0; }).first;
@@ -129,7 +130,7 @@ int main() {
   std::fputs(render_comparison("Scanner ethics (§A.2) vs paper", rows).c_str(), stdout);
 
   // ---- campaign scheduling ablation: lock-step vs interleaved scan window.
-  std::fprintf(stderr, "[bench] measuring the interleaved scan window (fresh campaign)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] measuring the interleaved scan window (fresh campaign)...");
   // Pacing on, default max_in_flight = 256.
   const double interleaved_hours = run_fresh_campaign([](CampaignConfig&) {}).second;
   // Scanned one host at a time, the polite sweep needs at least the sum of

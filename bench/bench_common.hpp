@@ -17,6 +17,7 @@
 #include "scanner/snapshot_io.hpp"
 #include "study/study.hpp"
 #include "util/date.hpp"
+#include "obs/log.hpp"
 
 namespace opcua_study::bench {
 
@@ -34,16 +35,15 @@ inline std::string ensure_snapshot_cache() {
   if (std::getenv("OPCUA_STUDY_FRESH") == nullptr) {
     try {
       const SnapshotReader probe(path, kStudySeed);
-      std::fprintf(stderr, "[bench] using cached campaign %s (v%u, %zu measurements)\n",
+      obs::logf(obs::LogLevel::info, "[bench] using cached campaign %s (v%u, %zu measurements)",
                    path.c_str(), probe.version(), probe.snapshots().size());
       return path;
     } catch (const SnapshotError& e) {
-      std::fprintf(stderr, "[bench] snapshot cache unusable (%s)\n", e.what());
+      obs::logf(obs::LogLevel::info, "[bench] snapshot cache unusable (%s)", e.what());
     }
   }
-  std::fprintf(stderr,
-               "[bench] running the full eight-week campaign "
-               "(first run generates ~900 RSA keys; subsequent runs hit the caches)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] running the full eight-week campaign "
+               "(first run generates ~900 RSA keys; subsequent runs hit the caches)...");
   StudyConfig config;
   config.seed = kStudySeed;
   SnapshotWriter writer(path, kStudySeed);
@@ -51,7 +51,7 @@ inline std::string ensure_snapshot_cache() {
   // a follow-up campaign really postdates this base.
   writer.set_campaign("imc2020-study", days_from_civil({2020, 2, 9}));
   run_full_study_streamed(config, writer);
-  std::fprintf(stderr, "[bench] campaign cached to %s\n", path.c_str());
+  obs::logf(obs::LogLevel::info, "[bench] campaign cached to %s", path.c_str());
   return path;
 }
 

@@ -29,6 +29,7 @@
 #include "report/report.hpp"
 #include "study/followup.hpp"
 #include "util/date.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -193,9 +194,10 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   if (threads <= 0) threads = static_cast<int>(hardware);
 
-  std::fprintf(stderr, "[bench] campaign diff: sizes");
-  for (const auto s : sizes) std::fprintf(stderr, " %zu", s);
-  std::fprintf(stderr, ", %d diff threads, %u cores\n", threads, hardware);
+  std::string size_list;
+  for (const auto s : sizes) size_list += " " + std::to_string(s);
+  obs::logf(obs::LogLevel::info, "[bench] campaign diff: sizes%s, %d diff threads, %u cores",
+            size_list.c_str(), threads, hardware);
 
   const std::vector<Bytes> fleet = make_cert_fleet();
   std::vector<SizeResult> results;
@@ -207,7 +209,7 @@ int main(int argc, char** argv) {
     const std::string followup_path = "/tmp/opcua_diff_followup_" + std::to_string(hosts) + ".bin";
 
     // ---- base campaign: generator -> chunked v5 stream ------------------
-    std::fprintf(stderr, "[bench] %zu hosts: writing base campaign...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: writing base campaign...", hosts);
     auto start = std::chrono::steady_clock::now();
     {
       SnapshotWriter writer(base_path, kBaseSeed);
@@ -220,7 +222,7 @@ int main(int argc, char** argv) {
     result.write_seconds = seconds_since(start);
 
     // ---- follow-up campaign: evolution model, streamed ------------------
-    std::fprintf(stderr, "[bench] %zu hosts: evolving follow-up campaign...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: evolving follow-up campaign...", hosts);
     FollowupConfig config;
     config.seed = kFollowupSeed;
     config.campaign_label = "bench-followup-2022";
@@ -238,7 +240,7 @@ int main(int argc, char** argv) {
     result.evolve_seconds = seconds_since(start);
 
     // ---- stream/1 and stream/T ------------------------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: streaming diff (1 thread)...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streaming diff (1 thread)...", hosts);
     DiffOptions options;
     options.threads = 1;
     start = std::chrono::steady_clock::now();
@@ -246,7 +248,7 @@ int main(int argc, char** argv) {
         diff_files(base_path, kBaseSeed, followup_path, kFollowupSeed, options);
     result.stream1_seconds = seconds_since(start);
 
-    std::fprintf(stderr, "[bench] %zu hosts: streaming diff (%d threads)...\n", hosts, threads);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streaming diff (%d threads)...", hosts, threads);
     options.threads = threads;
     start = std::chrono::steady_clock::now();
     const CampaignDiff streamN =
@@ -255,7 +257,7 @@ int main(int argc, char** argv) {
     result.rss_after_stream_kb = peak_rss_kb();
 
     // ---- load-all: both campaigns materialized --------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: load-all diff...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: load-all diff...", hosts);
     start = std::chrono::steady_clock::now();
     CampaignDiff loadall;
     {
@@ -352,7 +354,7 @@ int main(int argc, char** argv) {
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
 
   // Output identity gates the exit code; throughput targets are

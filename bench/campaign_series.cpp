@@ -33,6 +33,7 @@
 #include "series/series.hpp"
 #include "study/followup.hpp"
 #include "util/date.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -182,9 +183,11 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   if (threads <= 0) threads = static_cast<int>(hardware);
 
-  std::fprintf(stderr, "[bench] campaign series: %zu members, sizes", members);
-  for (const auto s : sizes) std::fprintf(stderr, " %zu", s);
-  std::fprintf(stderr, ", %d analysis threads, %u cores\n", threads, hardware);
+  std::string size_list;
+  for (const auto s : sizes) size_list += " " + std::to_string(s);
+  obs::logf(obs::LogLevel::info,
+            "[bench] campaign series: %zu members, sizes%s, %d analysis threads, %u cores",
+            members, size_list.c_str(), threads, hardware);
 
   const std::vector<Bytes> fleet = make_cert_fleet();
   std::vector<SizeResult> results;
@@ -199,7 +202,7 @@ int main(int argc, char** argv) {
     }
 
     // ---- generate: base campaign + K evolution steps ---------------------
-    std::fprintf(stderr, "[bench] %zu hosts: generating %zu-member series...\n", hosts, members);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: generating %zu-member series...", hosts, members);
     auto start = std::chrono::steady_clock::now();
     CampaignSet series;
     {
@@ -228,14 +231,14 @@ int main(int argc, char** argv) {
     }
 
     // ---- stream/1 and stream/T ------------------------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: streamed series analysis (1 thread)...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streamed series analysis (1 thread)...", hosts);
     SeriesOptions options;
     options.threads = 1;
     start = std::chrono::steady_clock::now();
     const SeriesAnalysis stream1 = analyze_series(series, options);
     result.stream1_seconds = seconds_since(start);
 
-    std::fprintf(stderr, "[bench] %zu hosts: streamed series analysis (%d threads)...\n", hosts,
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streamed series analysis (%d threads)...", hosts,
                  threads);
     options.threads = threads;
     start = std::chrono::steady_clock::now();
@@ -244,7 +247,7 @@ int main(int argc, char** argv) {
     result.rss_after_stream_kb = peak_rss_kb();
 
     // ---- load-all: every member materialized -----------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: load-all series analysis...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: load-all series analysis...", hosts);
     start = std::chrono::steady_clock::now();
     SeriesAnalysis loadall;
     {
@@ -349,7 +352,7 @@ int main(int argc, char** argv) {
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
 
   // Output identity gates the exit code; throughput targets are

@@ -28,6 +28,7 @@
 #include "crypto/rsa.hpp"
 #include "legacy_bignum32.hpp"
 #include "report/report.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
 
   // ---- keygen: 2048-bit keys, same seeds through both cores -------------
   const int keygen_count = quick ? 1 : 3;
-  std::fprintf(stderr, "[bench] keygen: %d x 2048-bit on the 64-bit core...\n", keygen_count);
+  obs::logf(obs::LogLevel::info, "[bench] keygen: %d x 2048-bit on the 64-bit core...", keygen_count);
   std::vector<RsaKeyPair> new_keys;
   auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < keygen_count; ++i) {
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
   }
   const double keygen_new_s = seconds_since(start) / keygen_count;
 
-  std::fprintf(stderr, "[bench] keygen: %d x 2048-bit on the legacy 32-bit core...\n",
+  obs::logf(obs::LogLevel::info, "[bench] keygen: %d x 2048-bit on the legacy 32-bit core...",
                keygen_count);
   std::vector<legacy32::KeyPublic> old_keys;
   start = std::chrono::steady_clock::now();
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
 
   const int modexp_new_reps = quick ? 12 : 60;
   const int modexp_old_reps = quick ? 3 : 12;
-  std::fprintf(stderr, "[bench] modexp: %d reps new / %d reps legacy...\n", modexp_new_reps,
+  obs::logf(obs::LogLevel::info, "[bench] modexp: %d reps new / %d reps legacy...", modexp_new_reps,
                modexp_old_reps);
   Bignum new_result;
   start = std::chrono::steady_clock::now();
@@ -137,7 +138,7 @@ int main(int argc, char** argv) {
   };
   std::vector<ScalePoint> scale;
   for (const std::size_t count : counts) {
-    std::fprintf(stderr, "[bench] batch-GCD over %zu x 512-bit moduli...\n", count);
+    obs::logf(obs::LogLevel::info, "[bench] batch-GCD over %zu x 512-bit moduli...", count);
     const std::vector<Bignum> slice(moduli.begin(),
                                     moduli.begin() + static_cast<std::ptrdiff_t>(count));
     start = std::chrono::steady_clock::now();
@@ -147,7 +148,7 @@ int main(int argc, char** argv) {
   }
   // Legacy tree at the smallest count only (it pays quadratic divmod on
   // every node and would dominate the bench at the larger sizes).
-  std::fprintf(stderr, "[bench] legacy batch-GCD over %zu moduli...\n", counts.front());
+  obs::logf(obs::LogLevel::info, "[bench] legacy batch-GCD over %zu moduli...", counts.front());
   std::vector<legacy32::Bignum> old_moduli;
   {
     Rng rng(kSeed ^ 0x6267);
@@ -232,7 +233,7 @@ int main(int argc, char** argv) {
          << ", \"scaling_exponent\": " << growth_exponent << "},\n"
          << "  \"old_new_results_identical\": " << (all_equal ? "true" : "false") << "\n"
          << "}\n";
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
 
   // Correctness gates the exit code; the speedup targets are reported

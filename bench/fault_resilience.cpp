@@ -33,6 +33,7 @@
 #include "scanner/campaign.hpp"
 #include "study/sharded.hpp"
 #include "study/study.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -113,8 +114,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const int shards = positional.size() > 2 ? positional[2] : std::max(4, static_cast<int>(hardware));
 
-  std::fprintf(stderr,
-               "[bench] fault resilience: %d OPC UA hosts, %d dummies, %d shards, %u cores\n",
+  obs::logf(obs::LogLevel::info, "[bench] fault resilience: %d OPC UA hosts, %d dummies, %d shards, %u cores",
                opcua_hosts, dummy_hosts, shards, hardware);
 
   const PopulationPlan plan = synthetic_plan(opcua_hosts);
@@ -152,18 +152,18 @@ int main(int argc, char** argv) {
     Campaign campaign(config, net);
     return campaign.run(7);
   };
-  std::fprintf(stderr, "[bench] fault-free baseline...\n");
+  obs::logf(obs::LogLevel::info, "[bench] fault-free baseline...");
   const bool fault_free_identical = run_single(false) == run_single(true);
 
   // ---- faulted sweeps: one per scheduling shape, all must agree.
-  std::fprintf(stderr, "[bench] hostile sweep, 1 thread...\n");
+  obs::logf(obs::LogLevel::info, "[bench] hostile sweep, 1 thread...");
   const auto start = std::chrono::steady_clock::now();
   const ScanSnapshot faulted = run_sharded(shards, 1, FaultProfile::hostile());
   const double faulted_seconds = seconds_since(start);
-  std::fprintf(stderr, "[bench] hostile sweep, %u threads...\n", hardware);
+  obs::logf(obs::LogLevel::info, "[bench] hostile sweep, %u threads...", hardware);
   const bool deterministic_across_threads =
       faulted == run_sharded(shards, static_cast<int>(hardware), FaultProfile::hostile());
-  std::fprintf(stderr, "[bench] hostile sweep, %d shards...\n", std::max(1, shards / 2));
+  obs::logf(obs::LogLevel::info, "[bench] hostile sweep, %d shards...", std::max(1, shards / 2));
   const bool deterministic_across_shard_layout =
       faulted == run_sharded(std::max(1, shards / 2), static_cast<int>(hardware),
                              FaultProfile::hostile());
@@ -226,7 +226,7 @@ int main(int argc, char** argv) {
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
   return (deterministic_across_threads && deterministic_across_shard_layout &&
           fault_free_identical && recovery_ok)

@@ -33,6 +33,8 @@
 #include "scanner/protocol.hpp"
 #include "study/sharded.hpp"
 #include "study/study.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 using namespace opcua_study;
 
@@ -163,9 +165,8 @@ int main(int argc, char** argv) {
   const int mqtt_hosts = std::max(1, opcua_hosts / 2);
   add_mqtt_population(plan, kSeed, mqtt_hosts);
 
-  std::fprintf(stderr,
-               "[bench] scan engine throughput: %d OPC UA hosts, %d MQTT brokers, %d dummies, "
-               "%d shards, %u cores\n",
+  obs::logf(obs::LogLevel::info, "[bench] scan engine throughput: %d OPC UA hosts, %d MQTT brokers, %d dummies, "
+               "%d shards, %u cores",
                opcua_hosts, mqtt_hosts, dummy_hosts, shards, hardware);
   DeployConfig deploy_config;
   deploy_config.seed = kSeed;
@@ -199,19 +200,19 @@ int main(int argc, char** argv) {
   const std::vector<ProtocolTarget> mixed_fleet = {
       {ProtocolId::opcua, 4840}, {ProtocolId::mqtt_tls, kMqttTlsDefaultPort}};
 
-  std::fprintf(stderr, "[bench] lock-step engine (max_in_flight = 1)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] lock-step engine (max_in_flight = 1)...");
   const EngineResult lock_step = run_single_network(1);
-  std::fprintf(stderr, "[bench] interleaved engine (max_in_flight = 256)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] interleaved engine (max_in_flight = 256)...");
   const EngineResult interleaved = run_single_network(256);
 
-  std::fprintf(stderr, "[bench] mqtt-tls backend (max_in_flight = 256)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] mqtt-tls backend (max_in_flight = 256)...");
   const EngineResult mqtt = run_single_network(256, mqtt_only);
-  std::fprintf(stderr, "[bench] mixed fleet lock-step (max_in_flight = 1)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] mixed fleet lock-step (max_in_flight = 1)...");
   const EngineResult mixed_lock_step = run_single_network(1, mixed_fleet);
-  std::fprintf(stderr, "[bench] mixed fleet interleaved (max_in_flight = 256)...\n");
+  obs::logf(obs::LogLevel::info, "[bench] mixed fleet interleaved (max_in_flight = 256)...");
   const EngineResult mixed = run_single_network(256, mixed_fleet);
 
-  std::fprintf(stderr, "[bench] sharded engine (%d shards)...\n", shards);
+  obs::logf(obs::LogLevel::info, "[bench] sharded engine (%d shards)...", shards);
   EngineResult sharded;
   {
     ShardedCampaignConfig config;
@@ -224,6 +225,32 @@ int main(int argc, char** argv) {
     sharded.real_seconds = seconds_since(start);
     sharded.simulated_seconds = static_cast<double>(stats.max_simulated_us()) / 1e6;
   }
+
+  // ---- telemetry overhead: the zero-cost-when-disabled claim, measured.
+  // Two disabled baselines bound the run-to-run noise floor; the enabled
+  // run pays the real instrument cost (relaxed atomics in the hot loops).
+  const auto hosts_per_sec_of = [](const EngineResult& r) {
+    return static_cast<double>(r.snapshot.hosts.size()) / std::max(r.real_seconds, 1e-9);
+  };
+  auto best_hps = [&](int reps) {
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      best = std::max(best, hosts_per_sec_of(run_single_network(256)));
+    }
+    return best;
+  };
+  obs::logf(obs::LogLevel::info, "[bench] telemetry overhead: disabled baselines...");
+  const double disabled_a = best_hps(3);
+  const double disabled_b = best_hps(3);
+  obs::logf(obs::LogLevel::info, "[bench] telemetry overhead: metrics enabled...");
+  obs::set_enabled(true);
+  const double enabled_hps = best_hps(3);
+  obs::set_enabled(false);
+  obs::reset();
+  const double best_disabled = std::max(disabled_a, disabled_b);
+  const double obs_overhead_disabled =
+      best_disabled / std::max(std::min(disabled_a, disabled_b), 1e-9);
+  const double obs_overhead_enabled = best_disabled / std::max(enabled_hps, 1e-9);
 
   // ---- correctness: the engines must agree on what the Internet looks like.
   const bool interleaved_equal = interleaved.snapshot == lock_step.snapshot;
@@ -281,6 +308,10 @@ int main(int argc, char** argv) {
        mixed_equal ? "equal" : "MISMATCH", mixed_equal},
       {"mixed sweep covers both protocol families", "2",
        std::to_string(mixed_protocol_families), mixed_protocol_families == 2},
+      {"telemetry overhead, disabled (run-to-run noise)", "<= 1.02x",
+       fmt_double(obs_overhead_disabled, 3) + "x", obs_overhead_disabled <= 1.02},
+      {"telemetry overhead, metrics enabled", "<= 1.10x",
+       fmt_double(obs_overhead_enabled, 3) + "x", obs_overhead_enabled <= 1.10},
   };
   if (hardware >= 4) {
     rows.push_back({"sharded wall-clock speedup on >= 4 cores", ">= 2x",
@@ -317,10 +348,12 @@ int main(int argc, char** argv) {
         .field("sharded_equals_lock_step", sharded_equal)
         .field("mixed_equals_lock_step", mixed_equal)
         .field("mixed_protocol_families", mixed_protocol_families)
+        .field("obs_overhead_disabled", obs_overhead_disabled)
+        .field("obs_overhead_enabled", obs_overhead_enabled)
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
   return (interleaved_equal && sharded_equal && mixed_equal && mixed_protocol_families == 2) ? 0
                                                                                             : 1;

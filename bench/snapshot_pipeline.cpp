@@ -41,6 +41,7 @@
 #include "series/matcher.hpp"
 #include "util/date.hpp"
 #include "util/thread_pool.hpp"
+#include "obs/log.hpp"
 
 using namespace opcua_study;
 
@@ -239,9 +240,10 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   if (threads <= 0) threads = static_cast<int>(hardware);
 
-  std::fprintf(stderr, "[bench] snapshot pipeline: sizes");
-  for (const auto s : sizes) std::fprintf(stderr, " %zu", s);
-  std::fprintf(stderr, ", %d aggregation threads, %u cores\n", threads, hardware);
+  std::string size_list;
+  for (const auto s : sizes) size_list += " " + std::to_string(s);
+  obs::logf(obs::LogLevel::info, "[bench] snapshot pipeline: sizes%s, %d aggregation threads, %u cores",
+            size_list.c_str(), threads, hardware);
 
   const std::vector<Bytes> certs = make_cert_fleet();
   std::vector<SizeResult> results;
@@ -253,7 +255,7 @@ int main(int argc, char** argv) {
         keep_path.empty() ? "/tmp/opcua_pipeline_" + std::to_string(hosts) + ".bin" : keep_path;
 
     // ---- write: generator -> chunked v6 stream --------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: writing chunked v6 snapshot...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: writing chunked v6 snapshot...", hosts);
     auto start = std::chrono::steady_clock::now();
     {
       SnapshotWriter writer(path, kSeed);
@@ -270,7 +272,7 @@ int main(int argc, char** argv) {
 
     // ---- write the identical week as v5 for the format comparison -------
     const std::string path_v5 = path + ".v5";
-    std::fprintf(stderr, "[bench] %zu hosts: writing v5 row-format snapshot...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: writing v5 row-format snapshot...", hosts);
     start = std::chrono::steady_clock::now();
     {
       SnapshotWriter writer(path_v5, kSeed, SnapshotWriter::kDefaultChunkRecords, 5);
@@ -286,14 +288,14 @@ int main(int argc, char** argv) {
     }
 
     // ---- stream/1 and stream/T ------------------------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: streaming aggregation (1 thread)...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streaming aggregation (1 thread)...", hosts);
     AnalysisOptions options;
     options.threads = 1;
     start = std::chrono::steady_clock::now();
     const StudyAnalysis stream1 = analyze_file(path, kSeed, options);
     result.stream1_seconds = seconds_since(start);
 
-    std::fprintf(stderr, "[bench] %zu hosts: streaming aggregation (%d threads)...\n", hosts,
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: streaming aggregation (%d threads)...", hosts,
                  threads);
     options.threads = threads;
     start = std::chrono::steady_clock::now();
@@ -302,7 +304,7 @@ int main(int argc, char** argv) {
     result.rss_after_stream_kb = peak_rss_kb();
 
     // ---- legacy load-all ------------------------------------------------
-    std::fprintf(stderr, "[bench] %zu hosts: legacy load-all aggregation...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: legacy load-all aggregation...", hosts);
     start = std::chrono::steady_clock::now();
     StudyAnalysis legacy;
     {
@@ -314,7 +316,7 @@ int main(int argc, char** argv) {
     result.rss_after_legacy_kb = peak_rss_kb();
 
     // ---- cold posture pass: v6 mmapped columns vs v5 record decode ------
-    std::fprintf(stderr, "[bench] %zu hosts: posture pass, v5 decode vs v6 columns...\n", hosts);
+    obs::logf(obs::LogLevel::info, "[bench] %zu hosts: posture pass, v5 decode vs v6 columns...", hosts);
     std::vector<HostPosture> postures_v5, postures_v6;
     {
       ThreadPool pool(1);
@@ -438,7 +440,7 @@ int main(int argc, char** argv) {
         .end_object();
     std::ofstream out(json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
   }
 
   // v5-side artifact: the row-format numbers alone, so CI uploads carry a
@@ -465,7 +467,7 @@ int main(int argc, char** argv) {
     json.end_array().end_object();
     std::ofstream out(v5_json_path, std::ios::trunc);
     out << json.str();
-    std::fprintf(stderr, "[bench] wrote %s\n", v5_json_path.c_str());
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", v5_json_path.c_str());
   }
 
   // Output identity gates the exit code; throughput/scaling targets are

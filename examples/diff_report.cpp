@@ -7,12 +7,16 @@
 // "PAM 2022" — and cached next to the base. Both campaigns stream chunk
 // by chunk; neither is materialized.
 //
-//   ./build/diff_report [base-file [followup-file]]
+//   ./build/diff_report [base-file [followup-file]] [--verbose]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "diff/diff.hpp"
+#include "obs/log.hpp"
 #include "report/report.hpp"
 #include "study/followup.hpp"
 #include "util/date.hpp"
@@ -66,8 +70,16 @@ void print_matrix(const char* title, const TransitionMatrix& m, const char* cons
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string base_path = argc > 1 ? argv[1] : default_base_path();
-  const std::string followup_path = argc > 2 ? argv[2] : ".opcua_study_followup.bin";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      obs::set_log_level(obs::LogLevel::debug);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  const std::string base_path = !paths.empty() ? paths[0] : default_base_path();
+  const std::string followup_path = paths.size() > 1 ? paths[1] : ".opcua_study_followup.bin";
   FollowupConfig followup_config;
 
   std::uint64_t followup_seed = 0;
@@ -109,7 +121,7 @@ int main(int argc, char** argv) {
   } catch (const SnapshotError& e) {
     // A failed generation or diff is a real error (the CI smoke step must
     // go red), unlike the friendly missing-base case above.
-    std::fprintf(stderr, "campaign diff failed: %s\n", e.what());
+    obs::logf(obs::LogLevel::error, "campaign diff failed: %s", e.what());
     return 1;
   }
 

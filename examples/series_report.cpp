@@ -14,8 +14,12 @@
 //   ./build/series_report [base-file [member-count]]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "obs/log.hpp"
 #include "report/report.hpp"
 #include "series/series.hpp"
 #include "study/followup.hpp"
@@ -60,8 +64,17 @@ std::string member_name(const SnapshotMeta& meta) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string base_path = argc > 1 ? argv[1] : default_base_path();
-  const std::size_t member_count = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      obs::set_log_level(obs::LogLevel::debug);
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  const std::string base_path = !args.empty() ? args[0] : default_base_path();
+  const std::size_t member_count =
+      args.size() > 1 ? static_cast<std::size_t>(std::atoll(args[1].c_str())) : 4;
   FollowupConfig config;
   config.campaign_label = "";  // derive followup-<k> per step
 
@@ -110,7 +123,7 @@ int main(int argc, char** argv) {
   } catch (const SnapshotError& e) {
     // A failed generation or analysis is a real error (the CI smoke step
     // must go red), unlike the friendly missing-base case above.
-    std::fprintf(stderr, "campaign series analysis failed: %s\n", e.what());
+    obs::logf(obs::LogLevel::error, "campaign series analysis failed: %s", e.what());
     return 1;
   }
 

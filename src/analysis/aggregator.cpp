@@ -13,6 +13,7 @@
 
 #include "analysis/analysis.hpp"
 #include "crypto/batch_gcd.hpp"
+#include "obs/metrics.hpp"
 #include "util/date.hpp"
 #include "util/hex.hpp"
 #include "util/thread_pool.hpp"
@@ -882,6 +883,7 @@ bool StudyAnalysis::figures_equal(const StudyAnalysis& other) const {
 }
 
 StudyAnalysis analyze_source(const RecordSource& source, const AnalysisOptions& options) {
+  const obs::WallTimer pass_timer(obs::Metric::analysis_pass_wall_us);
   StudyAnalysis analysis;
   const std::size_t weeks = source.week_count();
   for (std::size_t w = 0; w < weeks; ++w) analysis.weeks.push_back(source.week_meta(w));

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace opcua_study {
@@ -120,6 +121,7 @@ RsaKeyPair KeyFactory::get(const std::string& label, std::size_t bits) {
       const std::lock_guard<std::mutex> lock(mu_);
       if (auto it = entries_.find(key); it != entries_.end()) {
         ++cache_hits_;
+        obs::add(obs::Metric::key_cache_hits);
         pq_hex = it->second;
         hit = true;
       }
@@ -137,6 +139,7 @@ RsaKeyPair KeyFactory::get(const std::string& label, std::size_t bits) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (entries_.emplace(key, std::make_pair(p.to_hex(), q.to_hex())).second) {
       ++generated_;
+      obs::add(obs::Metric::keys_generated);
       dirty_ = true;
     }
   }
@@ -165,6 +168,7 @@ void KeyFactory::prefetch(const std::vector<std::pair<std::string, std::size_t>>
   for (std::size_t i = 0; i < missing.size(); ++i) {
     if (entries_.emplace(missing[i], std::move(results[i])).second) {
       ++generated_;
+      obs::add(obs::Metric::keys_generated);
       dirty_ = true;
     }
   }

@@ -4,6 +4,7 @@
 // reasoning lives with the shared core in src/series/matcher.cpp.
 #include "diff/diff.hpp"
 
+#include "obs/metrics.hpp"
 #include "report/json.hpp"
 #include "scanner/snapshot_io.hpp"
 #include "series/matcher.hpp"
@@ -53,6 +54,7 @@ bool CampaignDiff::counts_equal(const CampaignDiff& other) const {
 
 CampaignDiff diff_campaigns(const RecordSource& base, const RecordSource& followup,
                             const DiffOptions& options) {
+  const obs::WallTimer pass_timer(obs::Metric::diff_pass_wall_us);
   if (base.week_count() == 0 || followup.week_count() == 0) {
     throw SnapshotError("campaign diff needs >= 1 measurement per campaign");
   }

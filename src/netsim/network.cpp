@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace opcua_study {
+
+namespace {
+// Cells of obs::Metric::net_faults_injected (see obs::kFaultCells).
+constexpr unsigned kObsSynDrop = 0;
+constexpr unsigned kObsListenerFlap = 1;
+constexpr unsigned kObsReset = 2;
+constexpr unsigned kObsStall = 3;
+constexpr unsigned kObsTruncate = 4;
+constexpr unsigned kObsTimeout = 5;
+}  // namespace
 
 Network::Network() = default;
 
@@ -48,11 +59,13 @@ std::unique_ptr<NetConnection> Network::connect(Ipv4 ip, std::uint16_t port, Con
     ep = &fault_plan_->endpoint(ip, port);
     const FaultProfile& profile = fault_plan_->profile();
     if (ep->rng.chance(profile.connect_drop)) {
+      obs::add(obs::Metric::net_faults_injected, 1, kObsSynDrop);
       if (fault != nullptr) *fault = ConnectFault::SynDrop;
       if (mode == ConnMode::Blocking) clock_.advance_us(profile.connect_timeout_us);
       return nullptr;
     }
     if (ep->rng.chance(profile.listener_flap)) {
+      obs::add(obs::Metric::net_faults_injected, 1, kObsListenerFlap);
       if (fault != nullptr) *fault = ConnectFault::Flap;
       if (mode == ConnMode::Blocking) clock_.advance_us(rtt_us(ip));  // RST
       return nullptr;
@@ -98,6 +111,7 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
   if (faults_ != nullptr && reset_after_ == 0) {
     handler_.reset();
     ++faults_injected_;
+    obs::add(obs::Metric::net_faults_injected, 1, kObsReset);
     throw NetReset("connection reset by peer (injected fault)");
   }
   if (handler_ == nullptr || handler_->closed()) {
@@ -114,11 +128,15 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
     stall = faults_->rng.chance(fault_profile_->stall);
     truncate = faults_->rng.chance(fault_profile_->truncate);
   }
-  if (stall) cost += fault_profile_->stall_us;
+  if (stall) {
+    cost += fault_profile_->stall_us;
+    obs::add(obs::Metric::net_faults_injected, 1, kObsStall);
+  }
   if (request_timeout_us_ != 0 && cost > request_timeout_us_) {
     charge(request_timeout_us_);
     handler_.reset();  // the client aborts: the stream is desynced
     ++faults_injected_;
+    obs::add(obs::Metric::net_faults_injected, 1, kObsTimeout);
     throw NetTimeout("request timed out after " + std::to_string(request_timeout_us_ / 1000) +
                      " ms");
   }
@@ -138,6 +156,7 @@ Bytes NetConnection::roundtrip(const Bytes& request) {
     response.resize(1 + static_cast<std::size_t>(faults_->rng.below(cap)));
     response[0] ^= 0xA5;
     ++faults_injected_;
+    obs::add(obs::Metric::net_faults_injected, 1, kObsTruncate);
   }
   if (reset_after_ != kNoReset) --reset_after_;
   return response;

@@ -1,0 +1,52 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace opcua_study::obs {
+
+namespace {
+
+LogLevel default_level() {
+  if (const char* env = std::getenv("OPCUA_STUDY_LOG")) {
+    if (std::strcmp(env, "error") == 0) return LogLevel::error;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::warn;
+    if (std::strcmp(env, "info") == 0) return LogLevel::info;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::debug;
+  }
+  return std::getenv("CI") != nullptr ? LogLevel::warn : LogLevel::info;
+}
+
+std::atomic<int> g_level{static_cast<int>(default_level())};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::error: return "error";
+    case LogLevel::warn: return "warn";
+    case LogLevel::info: return "info";
+    case LogLevel::debug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[%s] ", tag(level));
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace opcua_study::obs

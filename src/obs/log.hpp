@@ -1,0 +1,30 @@
+// Leveled log sink for the tools around the library (benches, examples,
+// long-running studies). Replaces the ad-hoc stderr progress prints.
+//
+// Default level: `warn` when the CI environment variable is set (GitHub
+// Actions exports CI=true — progress chatter stays out of CI logs), `info`
+// otherwise. OPCUA_STUDY_LOG=error|warn|info|debug overrides either way,
+// and examples expose --verbose (→ debug) on top.
+#pragma once
+
+#include <cstdarg>
+
+namespace opcua_study::obs {
+
+enum class LogLevel : int { error = 0, warn = 1, info = 2, debug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style message to stderr, prefixed with its level tag; dropped
+/// entirely when `level` is below the sink's threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace opcua_study::obs

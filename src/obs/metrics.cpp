@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace opcua_study::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // Creation order; shards are never destroyed while the process lives, so
+  // raw pointers handed to threads stay valid past collect()/reset().
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<Shard*> free_list;
+
+  static Registry& instance() {
+    static Registry* r = new Registry();  // leaked: threads may outlive statics
+    return *r;
+  }
+
+  Shard* acquire() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!free_list.empty()) {
+      Shard* shard = free_list.back();
+      free_list.pop_back();
+      return shard;
+    }
+    shards.push_back(std::make_unique<Shard>());
+    return shards.back().get();
+  }
+
+  void release(Shard* shard) {
+    const std::lock_guard<std::mutex> lock(mu);
+    free_list.push_back(shard);  // counts persist; storage is reused only
+  }
+};
+
+/// RAII lease: a shard per thread, returned to the free list on thread
+/// exit so fork-join pools (fresh std::threads per call) reuse storage.
+struct ShardLease {
+  Shard* shard = nullptr;
+  ~ShardLease() {
+    if (shard != nullptr) Registry::instance().release(shard);
+  }
+};
+
+thread_local ShardLease t_lease;
+
+}  // namespace
+
+Shard& local_shard() {
+  if (t_lease.shard == nullptr) t_lease.shard = Registry::instance().acquire();
+  return *t_lease.shard;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  detail::Registry& registry = detail::Registry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& shard : registry.shards) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsSample collect() {
+  MetricsSample sample;
+  sample.metrics.resize(kMetricCount);
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    MetricValue& value = sample.metrics[i];
+    value.id = static_cast<Metric>(i);
+    const MetricDef& def = kMetricDefs[i];
+    if (def.kind == MetricKind::histogram) {
+      value.hists.resize(def.cells);
+    } else {
+      value.cells.assign(def.cells, 0);
+    }
+  }
+
+  detail::Registry& registry = detail::Registry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  // Merge in shard creation order. Counters and buckets are sums and
+  // gauges are maxes, so the merged sample is order-independent — the
+  // fixed order just makes the walk itself deterministic.
+  for (const auto& shard : registry.shards) {
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      const MetricDef& def = kMetricDefs[i];
+      const std::size_t base = kSlotOffsets[i];
+      MetricValue& value = sample.metrics[i];
+      if (def.kind == MetricKind::histogram) {
+        for (unsigned c = 0; c < def.cells; ++c) {
+          HistogramValue& h = value.hists[c];
+          const std::size_t cell_base = base + c * kHistStride;
+          for (std::size_t b = 0; b <= kHistBucketCount; ++b) {
+            h.buckets[b] += shard->slots[cell_base + b].load(std::memory_order_relaxed);
+          }
+          h.sum += shard->slots[cell_base + kHistBucketCount + 1].load(std::memory_order_relaxed);
+          h.count +=
+              shard->slots[cell_base + kHistBucketCount + 2].load(std::memory_order_relaxed);
+        }
+      } else if (def.kind == MetricKind::gauge) {
+        for (unsigned c = 0; c < def.cells; ++c) {
+          const std::uint64_t v = shard->slots[base + c].load(std::memory_order_relaxed);
+          if (v > value.cells[c]) value.cells[c] = v;
+        }
+      } else {
+        for (unsigned c = 0; c < def.cells; ++c) {
+          value.cells[c] += shard->slots[base + c].load(std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  return sample;
+}
+
+}  // namespace opcua_study::obs

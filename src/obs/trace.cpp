@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace opcua_study::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 4096;
+
+struct Ring {
+  std::vector<TraceRecord> buf;
+  std::size_t next = 0;       // write cursor (wraps)
+  std::uint64_t written = 0;  // total records ever written
+  std::size_t capacity = kDefaultCapacity;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // creation order
+  std::vector<Ring*> free_list;
+  std::size_t capacity = kDefaultCapacity;
+
+  static TraceRegistry& instance() {
+    static TraceRegistry* r = new TraceRegistry();  // leaked: outlives threads
+    return *r;
+  }
+
+  Ring* acquire() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!free_list.empty()) {
+      Ring* ring = free_list.back();
+      free_list.pop_back();
+      return ring;
+    }
+    rings.push_back(std::make_unique<Ring>());
+    rings.back()->capacity = capacity;
+    return rings.back().get();
+  }
+
+  void release(Ring* ring) {
+    const std::lock_guard<std::mutex> lock(mu);
+    free_list.push_back(ring);
+  }
+};
+
+struct RingLease {
+  Ring* ring = nullptr;
+  ~RingLease() {
+    if (ring != nullptr) TraceRegistry::instance().release(ring);
+  }
+};
+
+std::atomic<bool> g_trace_enabled{false};
+thread_local RingLease t_ring;
+thread_local std::int32_t t_week = TraceRecord::kNoScope;
+thread_local std::int32_t t_shard = TraceRecord::kNoScope;
+
+Ring& local_ring() {
+  if (t_ring.ring == nullptr) t_ring.ring = TraceRegistry::instance().acquire();
+  return *t_ring.ring;
+}
+
+}  // namespace
+
+const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::campaign_begin: return "campaign_begin";
+    case TraceEvent::sweep_complete: return "sweep_complete";
+    case TraceEvent::wave_enqueued: return "wave_enqueued";
+    case TraceEvent::host_complete: return "host_complete";
+    case TraceEvent::campaign_end: return "campaign_end";
+    case TraceEvent::unit_sealed: return "unit_sealed";
+    case TraceEvent::unit_failed: return "unit_failed";
+  }
+  return "unknown";
+}
+
+bool trace_enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool on) { g_trace_enabled.store(on, std::memory_order_relaxed); }
+
+void trace_reset() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    ring->buf.clear();
+    ring->next = 0;
+    ring->written = 0;
+  }
+}
+
+void set_trace_capacity(std::size_t events_per_thread) {
+  TraceRegistry& registry = TraceRegistry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  registry.capacity = std::max<std::size_t>(1, events_per_thread);
+}
+
+void trace(TraceEvent event, std::uint64_t t_us, std::uint32_t ip, std::uint16_t port,
+           std::uint64_t a, std::uint64_t b) {
+  if (!trace_enabled()) return;
+  Ring& ring = local_ring();
+  TraceRecord record;
+  record.t_us = t_us;
+  record.week = t_week;
+  record.shard = t_shard;
+  record.event = event;
+  record.ip = ip;
+  record.port = port;
+  record.a = a;
+  record.b = b;
+  if (ring.buf.size() < ring.capacity) {
+    ring.buf.push_back(record);
+  } else {
+    ring.buf[ring.next] = record;  // overwrite the oldest
+    add(Metric::trace_events_dropped);
+  }
+  ring.next = (ring.next + 1) % ring.capacity;
+  ++ring.written;
+}
+
+std::vector<TraceRecord> trace_collect() {
+  std::vector<TraceRecord> events;
+  TraceRegistry& registry = TraceRegistry::instance();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    // Oldest-first within the ring: once wrapped, the write cursor points
+    // at the oldest surviving record.
+    const std::size_t n = ring->buf.size();
+    const std::size_t start = ring->written > n ? ring->next : 0;
+    for (std::size_t i = 0; i < n; ++i) events.push_back(ring->buf[(start + i) % n]);
+  }
+  // A (week, shard) unit is scanned by one thread, so each scope group
+  // lives in one ring; the stable sort orders groups deterministically
+  // while per-ring insertion order carries each group's own timeline.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceRecord& x, const TraceRecord& y) {
+                     return std::make_pair(x.week, x.shard) < std::make_pair(y.week, y.shard);
+                   });
+  return events;
+}
+
+std::string trace_jsonl() {
+  std::string out;
+  for (const TraceRecord& e : trace_collect()) {
+    out += "{\"t_us\":" + std::to_string(e.t_us);
+    if (e.week != TraceRecord::kNoScope) out += ",\"week\":" + std::to_string(e.week);
+    if (e.shard != TraceRecord::kNoScope) out += ",\"shard\":" + std::to_string(e.shard);
+    out += std::string(",\"event\":\"") + trace_event_name(e.event) + "\"";
+    if (e.ip != 0) {
+      out += ",\"ip\":\"" + std::to_string(e.ip >> 24) + "." + std::to_string((e.ip >> 16) & 0xff) +
+             "." + std::to_string((e.ip >> 8) & 0xff) + "." + std::to_string(e.ip & 0xff) + "\"";
+    }
+    if (e.port != 0) out += ",\"port\":" + std::to_string(e.port);
+    out += ",\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b) + "}\n";
+  }
+  return out;
+}
+
+bool dump_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << trace_jsonl();
+  out.close();
+  return static_cast<bool>(out);
+}
+
+TraceScope::TraceScope(std::int32_t week, std::int32_t shard)
+    : prev_week_(t_week), prev_shard_(t_shard) {
+  if (week != TraceRecord::kNoScope) t_week = week;
+  if (shard != TraceRecord::kNoScope) t_shard = shard;
+}
+
+TraceScope::~TraceScope() {
+  t_week = prev_week_;
+  t_shard = prev_shard_;
+}
+
+}  // namespace opcua_study::obs

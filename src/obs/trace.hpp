@@ -1,0 +1,89 @@
+// Flight recorder: a bounded, per-thread ring buffer of structured scan
+// events, timestamped on the deterministic simulated clock.
+//
+// Every event carries the (week, shard) scope installed by the runner via
+// TraceScope (thread-local, RAII). A (week, shard) unit is always scanned
+// by exactly one thread, so its events land in one ring in program order;
+// the collected dump stable-sorts events by (week, shard) while preserving
+// per-ring insertion order — for a fixed configuration the dump is
+// byte-reproducible run over run. (Timelines legitimately differ across
+// max_in_flight windows; the cross-layout invariant is the metrics plane,
+// not the trace.)
+//
+// The ring is bounded: when a thread records more than the per-thread
+// capacity, the oldest events are overwritten and `trace_events_dropped`
+// counts the loss. Like metrics, recording is off by default and each
+// record site costs one relaxed load when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opcua_study::obs {
+
+enum class TraceEvent : std::uint8_t {
+  campaign_begin,   // a = week
+  sweep_complete,   // a = probes sent, b = open hosts
+  wave_enqueued,    // a = referenced targets queued (follow-references wave)
+  host_complete,    // ip/port set, a = ProbeOutcome, b = retries
+  campaign_end,     // a = kept host records
+  unit_sealed,      // a = kept hosts, b = probes sent (checkpoint segment sealed)
+  unit_failed,      // a = week, b = shard (checkpoint worker threw)
+};
+
+const char* trace_event_name(TraceEvent event);
+
+struct TraceRecord {
+  std::uint64_t t_us = 0;  // simulated clock, µs since the campaign start day
+  std::int32_t week = kNoScope;
+  std::int32_t shard = kNoScope;
+  TraceEvent event = TraceEvent::campaign_begin;
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  static constexpr std::int32_t kNoScope = INT32_MIN;
+  bool operator==(const TraceRecord&) const = default;
+};
+
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// Drop every buffered event (all rings); keeps capacity and scopes.
+void trace_reset();
+
+/// Per-thread ring capacity for rings leased *after* the call.
+void set_trace_capacity(std::size_t events_per_thread);
+
+void trace(TraceEvent event, std::uint64_t t_us, std::uint32_t ip = 0, std::uint16_t port = 0,
+           std::uint64_t a = 0, std::uint64_t b = 0);
+
+/// Every buffered event, stable-sorted by (week, shard) with per-ring
+/// insertion order preserved inside each scope.
+std::vector<TraceRecord> trace_collect();
+
+/// The collected trace as JSON lines (one event per line) — the flight
+/// recorder's dump format, byte-reproducible for a fixed configuration.
+std::string trace_jsonl();
+
+/// Dump the trace to `path` (truncating). Returns false on I/O failure —
+/// callers on crash paths must not throw over the original error.
+bool dump_trace(const std::string& path);
+
+/// RAII (week, shard) scope for events recorded by this thread. Pass
+/// TraceRecord::kNoScope to inherit the enclosing scope's value.
+class TraceScope {
+ public:
+  TraceScope(std::int32_t week, std::int32_t shard);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::int32_t prev_week_;
+  std::int32_t prev_shard_;
+};
+
+}  // namespace opcua_study::obs

@@ -1,0 +1,39 @@
+// Exposition for the obs metrics plane: the per-campaign
+// TELEMETRY_report.json and a Prometheus text endpoint/file.
+//
+// Both formats walk the merged MetricsSample in metric-id order and emit
+// stable metrics only by default — the stable subset is the determinism
+// contract (identical across thread counts, in-flight windows and shard
+// layouts), so two equal samples always serialize to identical bytes.
+// Operational metrics (wall timings, peaks) ride along only when asked.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace opcua_study {
+
+struct TelemetryReportOptions {
+  bool include_operational = false;
+  std::string campaign_label;  // stamped into the report when non-empty
+};
+
+/// TELEMETRY_report.json body: stable metric totals, histogram buckets,
+/// and (optionally) the operational section.
+std::string telemetry_json(const obs::MetricsSample& sample,
+                           const TelemetryReportOptions& options = {});
+
+/// Prometheus text exposition (`# HELP`/`# TYPE` + samples). Metric names
+/// are prefixed `opcua_study_`; labeled cells use a single `cell` label,
+/// histograms emit cumulative `_bucket{le=...}`, `_sum`, `_count`.
+std::string telemetry_prometheus(const obs::MetricsSample& sample,
+                                 bool include_operational = false);
+
+void write_telemetry_report(const std::string& path, const obs::MetricsSample& sample,
+                            const TelemetryReportOptions& options = {});
+
+void write_prometheus_textfile(const std::string& path, const obs::MetricsSample& sample,
+                               bool include_operational = false);
+
+}  // namespace opcua_study

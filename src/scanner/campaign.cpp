@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/date.hpp"
 #include "util/rng.hpp"
 
 namespace opcua_study {
+
+namespace {
+
+/// Telemetry for a record the campaign keeps (i.e. one that lands in the
+/// snapshot). Counting here — after the speaks-protocol filter — makes the
+/// grab_outcome totals reconcile *exactly* with the snapshot's per-host
+/// ProbeOutcome grades, dummy-banner noise excluded.
+void note_kept_record(const HostScanRecord& record) {
+  const unsigned protocol = static_cast<unsigned>(record.protocol);
+  obs::add(obs::Metric::grab_outcome, 1,
+           protocol * 4 + static_cast<unsigned>(record.completeness));
+  obs::add(obs::Metric::grab_retries, record.retries, protocol);
+  obs::add(obs::Metric::grab_fault_events, record.fault_events, protocol);
+  obs::add(obs::Metric::grab_bytes_sent, record.bytes_sent, protocol);
+}
+
+}  // namespace
 
 Campaign::Campaign(CampaignConfig config, Network& network)
     : config_(std::move(config)), network_(network) {}
@@ -71,10 +90,15 @@ ScanSnapshot Campaign::run(int measurement_index) {
   snapshot.measurement_index = measurement_index;
   snapshot.date_days = measurement_days(measurement_index);
   network_.clock().reset(snapshot.date_days);
+  const obs::TraceScope trace_scope(measurement_index, obs::TraceRecord::kNoScope);
+  obs::trace(obs::TraceEvent::campaign_begin, network_.clock().now_us(), 0, 0,
+             static_cast<std::uint64_t>(measurement_index));
 
   // Phase 1: port sweep (one pass per protocol target, in mix order).
   const std::vector<OpenHost> open_hosts = sweep(snapshot, measurement_index);
   snapshot.tcp_open_count = open_hosts.size();
+  obs::trace(obs::TraceEvent::sweep_complete, network_.clock().now_us(), 0, 0,
+             snapshot.probes_sent, open_hosts.size());
 
   // Phase 2: interleaved application-layer grab of every open host. The
   // scheduler keeps max_in_flight hosts active; ids continue across waves
@@ -92,7 +116,10 @@ ScanSnapshot Campaign::run(int measurement_index) {
   for (const OpenHost& host : open_hosts) scanned.insert({host.ip, host.port});
   for (auto& record : records) {
     for (const auto& target : record.referenced_targets) referenced.push_back(target);
-    if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));
+    if (record.speaks_opcua) {
+      note_kept_record(record);
+      snapshot.hosts.push_back(std::move(record));
+    }
   }
 
   // Phase 3: feed references to other host/port combinations back into the
@@ -107,13 +134,19 @@ ScanSnapshot Campaign::run(int measurement_index) {
       scanned.insert(target);
       wave.push_back(target);
     }
+    obs::trace(obs::TraceEvent::wave_enqueued, network_.clock().now_us(), 0, 0, wave.size());
     for (const auto& [ip, port] : wave) scheduler.enqueue(ip, port);
     for (auto& record : scheduler.drain()) {
       record.found_via_reference = true;
       if (record.tcp_open) ++snapshot.tcp_open_count;
-      if (record.speaks_opcua) snapshot.hosts.push_back(std::move(record));
+      if (record.speaks_opcua) {
+        note_kept_record(record);
+        snapshot.hosts.push_back(std::move(record));
+      }
     }
   }
+  obs::trace(obs::TraceEvent::campaign_end, network_.clock().now_us(), 0, 0,
+             snapshot.hosts.size());
   return snapshot;
 }
 

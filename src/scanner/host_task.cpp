@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace opcua_study {
+
+namespace {
+// Phase-timing cells are keyed by protocol; this task is the OPC UA backend.
+constexpr unsigned kObsOpcua = static_cast<unsigned>(ProtocolId::opcua);
+}  // namespace
 
 std::optional<std::pair<Ipv4, std::uint16_t>> parse_opc_url(const std::string& url) {
   const auto parsed = parse_endpoint_url(url);
@@ -235,11 +242,14 @@ HostGrabTask::Step HostGrabTask::step_discovery() {
   conn_faults_seen_ = 0;
   conn_->set_request_timeout_us(config_.retry.request_timeout_ms * 1000);
   charge(*conn_);  // three-way handshake
+  obs::observe_us(obs::Metric::phase_connect_us, consumed_us_, kObsOpcua);
 
   client_ = std::make_unique<Client>(config_.client, *conn_,
                                      Rng(seed_).child("grab-" + std::to_string(task_id_)));
+  const std::uint64_t hello_start_us = consumed_us_;
   const StatusCode hello_status = client_->hello(url_);
   charge(*conn_);
+  obs::observe_us(obs::Metric::phase_hello_us, consumed_us_ - hello_start_us, kObsOpcua);
   if (hello_status != StatusCode::Good) {
     if (fresh_fault()) {
       if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/true);
@@ -259,8 +269,10 @@ HostGrabTask::Step HostGrabTask::step_discovery() {
   }
 
   std::vector<EndpointDescription> endpoints;
+  const std::uint64_t endpoints_start_us = consumed_us_;
   const StatusCode endpoints_status = client_->get_endpoints(url_, endpoints);
   charge(*conn_);
+  obs::observe_us(obs::Metric::phase_endpoints_us, consumed_us_ - endpoints_start_us);
   if (endpoints_status != StatusCode::Good) {
     if (fresh_fault()) {
       if (can_retry()) return retry_to(Phase::Discovery, /*drop_connection=*/true);
@@ -367,6 +379,7 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
                                                            : ChannelOutcome::cert_rejected;
     record_.session = SessionOutcome::channel_rejected;
     record_.bytes_sent += conn_->bytes_sent();
+    obs::observe_us(obs::Metric::phase_auth_probe_us, consumed_us_, kObsOpcua);
     return finish(/*with_duration=*/true);
   }
   record_.channel = ChannelOutcome::established;
@@ -389,9 +402,11 @@ HostGrabTask::Step HostGrabTask::step_secure_probe() {
     }
     record_.session = SessionOutcome::auth_rejected;
     record_.bytes_sent += conn_->bytes_sent();
+    obs::observe_us(obs::Metric::phase_auth_probe_us, consumed_us_, kObsOpcua);
     return finish(/*with_duration=*/true);
   }
   record_.session = SessionOutcome::accessible;
+  obs::observe_us(obs::Metric::phase_auth_probe_us, consumed_us_, kObsOpcua);
 
   // Namespaces (classification input) and software version (§5.5) follow
   // after the inter-request pause.

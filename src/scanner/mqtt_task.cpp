@@ -1,11 +1,15 @@
 #include "scanner/mqtt_task.hpp"
 
 #include "netsim/mqtt_service.hpp"
+#include "obs/metrics.hpp"
 #include "opcua/secpolicy.hpp"
 
 namespace opcua_study {
 
 namespace {
+
+// Phase-timing cells are keyed by protocol; this task is the MQTT backend.
+constexpr unsigned kObsMqtt = static_cast<unsigned>(ProtocolId::mqtt_tls);
 
 constexpr std::uint32_t kHello = 0x4c48514du;     // 'MQHL'
 constexpr std::uint32_t kHelloAck = 0x4148514du;  // 'MQHA'
@@ -178,12 +182,15 @@ MqttGrabTask::Step MqttGrabTask::step_hello() {
   conn_faults_seen_ = 0;
   conn_->set_request_timeout_us(config_.retry.request_timeout_ms * 1000);
   charge(*conn_);  // three-way handshake
+  obs::observe_us(obs::Metric::phase_connect_us, consumed_us_, kObsMqtt);
 
   UaWriter hello;
   hello.u32(kHello);
   hello.u16(0x0303);
+  const std::uint64_t hello_start_us = consumed_us_;
   const Bytes reply = conn_->roundtrip(hello.take());
   charge(*conn_);
+  obs::observe_us(obs::Metric::phase_hello_us, consumed_us_ - hello_start_us, kObsMqtt);
   UaReader r(reply);
   if (reply.empty() || r.u32() != kHelloAck) {
     // Whatever answered is not our broker (dummy service / port reuse).
@@ -237,6 +244,7 @@ MqttGrabTask::Step MqttGrabTask::step_connect() {
   connect.byte(0);  // anonymous
   const Bytes reply = conn_->roundtrip(connect.take());
   charge(*conn_);
+  obs::observe_us(obs::Metric::phase_auth_probe_us, consumed_us_, kObsMqtt);
   UaReader r(reply);
   if (reply.empty() || r.u32() != kConnAck) return finish(/*with_duration=*/true);
   if (r.byte() != 0) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace opcua_study {
 
 ScanScheduler::ScanScheduler(GrabberConfig config, Network& network, std::uint64_t seed,
@@ -26,6 +29,8 @@ void ScanScheduler::launch_next() {
   std::shared_ptr<ProbeTask> task = protocol_probe(target.protocol)
                                         .make_task(config_, network_, seed_, ++task_counter_,
                                                    target.ip, target.port);
+  obs::add(obs::Metric::scan_tasks_launched, 1, static_cast<unsigned>(target.protocol));
+  obs::gauge_peak(obs::Metric::scheduler_in_flight_peak, next_result_ - completed_);
   // First step fires "now": the sweep already paid the probe cost.
   network_.scheduler().schedule_in(0, [this, task, result_index] {
     step_task(task, result_index);
@@ -34,6 +39,7 @@ void ScanScheduler::launch_next() {
 
 void ScanScheduler::step_task(const std::shared_ptr<ProbeTask>& task,
                               std::size_t result_index) {
+  obs::add(obs::Metric::scan_task_wakeups);
   const ProbeTask::Step step = task->step();
   if (!step.done) {
     network_.scheduler().schedule_in(step.wait_us, [this, task, result_index] {
@@ -45,6 +51,19 @@ void ScanScheduler::step_task(const std::shared_ptr<ProbeTask>& task,
   // only then does its in-flight slot free up for the next pending host.
   network_.scheduler().schedule_in(step.wait_us, [this, task, result_index] {
     results_[result_index] = task->take_record();
+    if (obs::enabled()) {
+      const HostScanRecord& record = results_[result_index];
+      // Task-local duration: invariant across in-flight windows and shard
+      // layouts, unlike the global event-heap timeline.
+      obs::observe_us(obs::Metric::scan_completion_us,
+                      static_cast<std::uint64_t>(record.duration_seconds * 1e6),
+                      static_cast<unsigned>(record.protocol));
+    }
+    if (obs::trace_enabled()) {
+      const HostScanRecord& record = results_[result_index];
+      obs::trace(obs::TraceEvent::host_complete, network_.clock().now_us(), record.ip,
+                 record.port, static_cast<std::uint64_t>(record.completeness), record.retries);
+    }
     ++completed_;
     launch_next();
   });

@@ -6,7 +6,10 @@
 #include <cstring>
 #include <limits>
 
+#include <chrono>
+
 #include "crypto/x509.hpp"
+#include "obs/metrics.hpp"
 #include "opcua/encoding.hpp"
 #include "util/rng.hpp"
 
@@ -861,6 +864,9 @@ void SnapshotWriter::add_snapshot(const ScanSnapshot& snapshot) {
 
 void SnapshotWriter::flush_chunk() {
   if (buffered_records_ == 0) return;
+  const bool obs_on = obs::enabled();
+  const auto wall_start =
+      obs_on ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   SnapshotChunkInfo info;
   info.snapshot_ordinal = static_cast<std::uint32_t>(snapshots_.size() - 1);
   info.record_count = buffered_records_;
@@ -912,6 +918,14 @@ void SnapshotWriter::flush_chunk() {
   file_pos_ += bytes.size();
   chunks_.push_back(info);
   buffered_records_ = 0;
+  if (obs_on) {
+    obs::add(obs::Metric::snapshot_chunks_written);
+    obs::add(obs::Metric::snapshot_bytes_written, bytes.size());
+    obs::add(obs::Metric::snapshot_write_wall_us,
+             static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                            std::chrono::steady_clock::now() - wall_start)
+                                            .count()));
+  }
 }
 
 void SnapshotWriter::finish() {
@@ -1408,10 +1422,23 @@ void SnapshotReader::read_chunk(std::size_t chunk_index,
   }
   const SnapshotChunkInfo& info = chunks_[chunk_index];
   out.reserve(info.record_count);
+  const bool obs_on = obs::enabled();
+  const auto wall_start =
+      obs_on ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  const auto note_read = [&] {
+    if (!obs_on) return;
+    obs::add(obs::Metric::snapshot_chunks_read);
+    obs::add(obs::Metric::snapshot_bytes_read, info.payload_bytes);
+    obs::add(obs::Metric::snapshot_read_wall_us,
+             static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                            std::chrono::steady_clock::now() - wall_start)
+                                            .count()));
+  };
   try {
     if (version_ == kVersionV4) {
       UaReader r(std::span<const std::uint8_t>(data_ + info.file_offset, info.payload_bytes));
       for (std::uint32_t i = 0; i < info.record_count; ++i) out.push_back(read_host(r));
+      note_read();
       return;
     }
     if (version_ == kVersionV6) {
@@ -1427,6 +1454,7 @@ void SnapshotReader::read_chunk(std::size_t chunk_index,
       for (std::uint32_t i = 0; i < info.record_count; ++i) {
         out.push_back(read_host_v6(*this, lay, i));
       }
+      note_read();
       return;
     }
     // v5: each call opens its own stream so thread-pool workers can decode
@@ -1444,6 +1472,7 @@ void SnapshotReader::read_chunk(std::size_t chunk_index,
     }
     for (std::uint32_t i = 0; i < info.record_count; ++i) out.push_back(read_host(r));
     if (!r.done()) throw DecodeError("chunk payload longer than its records");
+    note_read();
   } catch (const DecodeError& e) {
     throw SnapshotError(
         "corrupt chunk " + std::to_string(chunk_index) + " in " + path_ + " (" +
@@ -1492,6 +1521,10 @@ ColumnView SnapshotReader::column_view(std::size_t chunk_index) const {
     view.policy_mask = {lay.policy_mask, lay.n};
     view.token_mask = {lay.token_mask, lay.n};
     view.var_blob = {lay.var, static_cast<std::size_t>(lay.var_bytes)};
+    // A column view is a zero-copy chunk read: same coverage accounting as
+    // the record-decoding path, just without the decode cost.
+    obs::add(obs::Metric::snapshot_chunks_read);
+    obs::add(obs::Metric::snapshot_bytes_read, info.payload_bytes);
     return view;
   } catch (const DecodeError& e) {
     throw SnapshotError(

@@ -8,6 +8,7 @@
 // records.
 #include "series/series.hpp"
 
+#include "obs/metrics.hpp"
 #include "report/json.hpp"
 #include "series/matcher.hpp"
 #include "util/thread_pool.hpp"
@@ -129,6 +130,7 @@ double SeriesAnalysis::mean_link_confidence() const {
 }
 
 SeriesAnalysis analyze_series(const CampaignSet& set, const SeriesOptions& options) {
+  const obs::WallTimer pass_timer(obs::Metric::series_pass_wall_us);
   if (set.size() < 2) {
     throw SnapshotError("campaign series needs >= 2 members (got " +
                         std::to_string(set.size()) + ")");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -13,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "util/date.hpp"
 
 namespace opcua_study {
@@ -159,23 +162,44 @@ bool run_checkpointed_study(Deployer& deployer, const CheckpointConfig& config,
     // first N pending units of the week regardless of worker timing.
     const int claimable = std::min<int>(allowed, static_cast<int>(pending.size()));
     std::atomic<int> next{0};
+    // A unit that throws (corrupt segment path, full disk, a netsim bug)
+    // must not std::terminate from a raw worker thread: the first failure
+    // stops further claims, already-sealed units stay sealed (the manifest
+    // only advances on success), the flight recorder is dumped next to the
+    // manifest, and the exception resurfaces on the caller.
+    std::atomic<bool> unit_failed{false};
+    std::exception_ptr first_failure;
+    std::mutex failure_mu;
     auto worker = [&] {
       for (int i = next.fetch_add(1); i < claimable; i = next.fetch_add(1)) {
+        if (unit_failed.load(std::memory_order_relaxed)) return;
         const int shard = pending[static_cast<std::size_t>(i)];
-        Campaign campaign(config.campaign.campaign, *networks[static_cast<std::size_t>(i)]);
-        ScanSnapshot snapshot = campaign.run(week);
-        sort_by_endpoint(snapshot.hosts);
-        {
-          SnapshotWriter seg(checkpoint_segment_path(config.dir, week, shard), seed,
-                             config.chunk_records);
-          seg.begin_snapshot(week, measurement_days(week));
-          for (const auto& host : snapshot.hosts) seg.add_host(host);
-          seg.end_snapshot(snapshot.probes_sent, snapshot.tcp_open_count);
-          seg.finish();
+        const obs::TraceScope scope(week, shard);
+        try {
+          Campaign campaign(config.campaign.campaign, *networks[static_cast<std::size_t>(i)]);
+          ScanSnapshot snapshot = campaign.run(week);
+          sort_by_endpoint(snapshot.hosts);
+          {
+            SnapshotWriter seg(checkpoint_segment_path(config.dir, week, shard), seed,
+                               config.chunk_records);
+            seg.begin_snapshot(week, measurement_days(week));
+            for (const auto& host : snapshot.hosts) seg.add_host(host);
+            seg.end_snapshot(snapshot.probes_sent, snapshot.tcp_open_count);
+            seg.finish();
+          }
+          obs::trace(obs::TraceEvent::unit_sealed, 0, 0, 0, snapshot.hosts.size(),
+                     snapshot.probes_sent);
+          std::lock_guard<std::mutex> lock(manifest_mu);
+          done.emplace(week, shard);
+          save_manifest(manifest, header, done);
+        } catch (...) {
+          obs::trace(obs::TraceEvent::unit_failed, 0, 0, 0,
+                     static_cast<std::uint64_t>(week), static_cast<std::uint64_t>(shard));
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (first_failure == nullptr) first_failure = std::current_exception();
+          unit_failed.store(true, std::memory_order_relaxed);
+          return;
         }
-        std::lock_guard<std::mutex> lock(manifest_mu);
-        done.emplace(week, shard);
-        save_manifest(manifest, header, done);
       }
     };
     const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
@@ -189,6 +213,16 @@ bool run_checkpointed_study(Deployer& deployer, const CheckpointConfig& config,
       pool.reserve(static_cast<std::size_t>(thread_count));
       for (int t = 0; t < thread_count; ++t) pool.emplace_back(worker);
       for (auto& thread : pool) thread.join();
+    }
+    if (first_failure != nullptr) {
+      if (obs::trace_enabled()) {
+        const std::string crash_dump = config.dir + "/flight_recorder.crash.jsonl";
+        if (obs::dump_trace(crash_dump)) {
+          obs::logf(obs::LogLevel::error, "checkpointed unit failed; flight recorder at %s",
+                    crash_dump.c_str());
+        }
+      }
+      std::rethrow_exception(first_failure);
     }
     allowed -= claimable;
   }

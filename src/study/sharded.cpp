@@ -7,6 +7,8 @@
 #include <optional>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace opcua_study {
 
 namespace {
@@ -76,6 +78,7 @@ ScanSnapshot run_sharded_campaign(Deployer& deployer, int week,
       std::min(shards, config.threads > 0 ? config.threads : static_cast<int>(hardware));
   auto worker = [&] {
     for (int s = next_shard.fetch_add(1); s < shards; s = next_shard.fetch_add(1)) {
+      const obs::TraceScope scope(week, s);
       Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
       shard_snapshots[static_cast<std::size_t>(s)] = campaign.run(week);
     }
@@ -154,6 +157,7 @@ SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
         std::unique_lock<std::mutex> lock(mu);
         drained.wait(lock, [&] { return s < drain_cursor + window; });
       }
+      const obs::TraceScope scope(week, s);
       Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
       ScanSnapshot snapshot = campaign.run(week);
       sort_by_endpoint(snapshot.hosts);
@@ -184,6 +188,7 @@ SnapshotMeta run_sharded_campaign_streamed(Deployer& deployer, int week,
       drained.notify_all();
     } else {
       // Inline: scan shard s, write it, drop it — one shard resident.
+      const obs::TraceScope scope(week, s);
       Campaign campaign(config.campaign, *networks[static_cast<std::size_t>(s)]);
       snapshot = campaign.run(week);
       sort_by_endpoint(snapshot.hosts);

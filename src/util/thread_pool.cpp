@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace opcua_study {
 
 ThreadPool::ThreadPool(int threads)
@@ -15,9 +17,20 @@ ThreadPool::ThreadPool(int threads)
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
+  last_error_index_.store(kNoError, std::memory_order_relaxed);
   const int workers = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(size_), n));
+  obs::add(obs::Metric::pool_jobs);
+  obs::add(obs::Metric::pool_iterations, n);
+  obs::gauge_peak(obs::Metric::pool_width_peak, static_cast<std::uint64_t>(workers));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        last_error_index_.store(i, std::memory_order_relaxed);
+        throw;
+      }
+    }
     return;
   }
 
@@ -34,7 +47,10 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       try {
         fn(i);
       } catch (...) {
-        if (!error_claimed.exchange(true)) first_error = std::current_exception();
+        if (!error_claimed.exchange(true)) {
+          first_error = std::current_exception();
+          last_error_index_.store(i, std::memory_order_relaxed);
+        }
         failed.store(true, std::memory_order_relaxed);
         return;
       }
@@ -52,9 +68,18 @@ void ThreadPool::parallel_for_merged(std::size_t n, const std::function<void(std
                                      const std::function<void(std::size_t)>& merge) const {
   if (n == 0) return;
   if (size_ <= 1 || n == 1) {
+    last_error_index_.store(kNoError, std::memory_order_relaxed);
+    obs::add(obs::Metric::pool_jobs);
+    obs::add(obs::Metric::pool_iterations, n);
+    obs::gauge_peak(obs::Metric::pool_width_peak, 1);
     for (std::size_t i = 0; i < n; ++i) {
-      fn(i);
-      merge(i);
+      try {
+        fn(i);
+        merge(i);
+      } catch (...) {
+        last_error_index_.store(i, std::memory_order_relaxed);
+        throw;
+      }
     }
     return;
   }
@@ -70,22 +95,33 @@ void ThreadPool::parallel_for_merged(std::size_t n, const std::function<void(std
   std::vector<char> done(n, 0);
   std::size_t next_merge = 0;
   bool merge_failed = false;
+  std::size_t merge_error_index = kNoError;  // guarded by merge_mutex
   std::mutex merge_mutex;
-  parallel_for(n, [&](std::size_t i) {
-    fn(i);
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    done[i] = 1;
-    if (merge_failed) return;
-    while (next_merge < n && done[next_merge]) {
-      const std::size_t index = next_merge++;
-      try {
-        merge(index);
-      } catch (...) {
-        merge_failed = true;
-        throw;
+  try {
+    parallel_for(n, [&](std::size_t i) {
+      fn(i);
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      done[i] = 1;
+      if (merge_failed) return;
+      while (next_merge < n && done[next_merge]) {
+        const std::size_t index = next_merge++;
+        try {
+          merge(index);
+        } catch (...) {
+          merge_failed = true;
+          merge_error_index = index;
+          throw;
+        }
       }
+    });
+  } catch (...) {
+    // A merge throw surfaces out of whichever iteration drained the prefix;
+    // report the index that was actually being merged, not the drainer.
+    if (merge_error_index != kNoError) {
+      last_error_index_.store(merge_error_index, std::memory_order_relaxed);
     }
-  });
+    throw;
+  }
 }
 
 }  // namespace opcua_study

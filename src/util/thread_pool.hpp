@@ -8,6 +8,7 @@
 // workers pull indices from an atomic counter.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -25,11 +26,14 @@ class ThreadPool {
   int size() const { return size_; }
 
   /// Run fn(i) for every i in [0, n); blocks until all iterations finish.
+  /// n == 0 is a no-op (no threads spawned, no callbacks invoked).
   /// Iterations are claimed from an atomic counter, so big-integer work of
   /// wildly different sizes (tree levels mix megabit roots with kilobit
   /// leaves) load-balances without an explicit schedule. If any iteration
   /// throws, the remaining ones are skipped and the first exception is
-  /// rethrown on the caller.
+  /// rethrown on the caller *with its original type* — callers that need
+  /// the failing index in an error message read last_error_index() and
+  /// re-wrap at their own layer.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
   /// parallel_for with an ordered early drain: fn(i) runs in parallel as
@@ -46,8 +50,16 @@ class ThreadPool {
   void parallel_for_merged(std::size_t n, const std::function<void(std::size_t)>& fn,
                            const std::function<void(std::size_t)>& merge) const;
 
+  /// Index of the iteration whose exception the most recent parallel_for /
+  /// parallel_for_merged on this pool rethrew, or kNoError if it completed
+  /// cleanly. Valid only after the call returns (throwing or not) — this is
+  /// for building "chunk N failed" messages, not for cross-thread peeking.
+  static constexpr std::size_t kNoError = static_cast<std::size_t>(-1);
+  std::size_t last_error_index() const { return last_error_index_.load(std::memory_order_relaxed); }
+
  private:
   int size_;
+  mutable std::atomic<std::size_t> last_error_index_{kNoError};
 };
 
 }  // namespace opcua_study
