@@ -1,0 +1,313 @@
+// Study-service throughput: cold vs cached query latency through the
+// CampaignCatalog, and the incremental-series append against a full
+// batch re-walk.
+//
+// Builds a synthetic K-member campaign history (chunked snapshot files
+// with posture sketch sidecars, the same host shape the diff and series
+// benches use), registers it with a CampaignCatalog, and measures:
+//   cold/cached:  the first study/posture query computes the artifact;
+//                 repeats are pointer reads + JSON rendering. The ratio
+//                 is the catalog's reason to exist.
+//   incremental:  appending member K to a resident series (one sketch
+//                 load + one match) vs analyze_series over all K+1
+//                 members with sketches disabled (the batch re-walk).
+//                 The guarded floor is >= 4x.
+// It verifies the resident series analysis matches the batch re-walk
+// down to the report JSON bytes, races the query battery across a
+// worker pool against inline execution (byte-identical responses), and
+// emits BENCH_svc.json for the CI bench-regression guard.
+//
+//   ./build/query_service [--quick] [--json PATH] [--hosts N]
+//                         [--members K]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "crypto/keycache.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "report/json.hpp"
+#include "report/report.hpp"
+#include "series/sketch.hpp"
+#include "study/followup.hpp"
+#include "svc/service.hpp"
+#include "util/date.hpp"
+
+using namespace opcua_study;
+
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 20200911;
+
+double micros_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Base certificates: a small signed fleet, then per-host unique DERs by
+/// perturbing trailing signature bytes — parseable, unique thumbprints,
+/// zero per-host signing cost (same scheme as the series bench).
+std::vector<Bytes> make_cert_fleet() {
+  KeyFactory keys(kBaseSeed, "");
+  std::vector<Bytes> fleet;
+  for (int i = 0; i < 24; ++i) {
+    const RsaKeyPair kp = keys.get("svc-base-" + std::to_string(i), 512);
+    CertificateSpec spec;
+    spec.subject = {"svc device " + std::to_string(i), "Service Manufacturing", "DE"};
+    spec.signature_hash = i % 3 == 0 ? HashAlgorithm::sha1 : HashAlgorithm::sha256;
+    spec.serial = Bignum{static_cast<std::uint64_t>(7000 + i)};
+    spec.not_before_days = days_from_civil({i % 2 ? 2017 : 2019, 5, 1});
+    spec.not_after_days = spec.not_before_days + 3650;
+    spec.application_uri = "urn:svc:device:" + std::to_string(i);
+    fleet.push_back(x509_create(spec, kp.pub, kp.priv));
+  }
+  return fleet;
+}
+
+Bytes unique_cert(const std::vector<Bytes>& fleet, std::size_t i) {
+  Bytes der = fleet[i % fleet.size()];
+  for (std::size_t b = 0; b < 4; ++b) {
+    der[der.size() - 1 - b] ^= static_cast<std::uint8_t>(i >> (8 * b));
+  }
+  return der;
+}
+
+/// Deterministic synthetic base host #i — the study's posture archetypes
+/// (same shape as the diff/series benches, so the numbers compare).
+HostScanRecord make_host(std::size_t i, const std::vector<Bytes>& fleet) {
+  HostScanRecord host;
+  host.ip = static_cast<Ipv4>(0x0a000000u + static_cast<std::uint32_t>(i));
+  host.port = i % 13 == 0 ? 4841 : kOpcUaDefaultPort;
+  host.asn = 64500 + static_cast<std::uint32_t>(i % 48);
+  host.tcp_open = true;
+  host.speaks_opcua = true;
+  host.product_uri = "http://example.org/svc";
+  host.application_name = "svc host " + std::to_string(i);
+  host.application_uri = "urn:generic:opcua:svc-" + std::to_string(i);
+  host.software_version = "2." + std::to_string(i % 4) + ".0";
+
+  const Bytes cert = i % 5 == 4 ? fleet[i % fleet.size()] : unique_cert(fleet, i);
+  auto add_endpoint = [&](MessageSecurityMode mode, SecurityPolicy policy, bool with_cert) {
+    EndpointObservation ep;
+    ep.url = "opc.tcp://svc" + std::to_string(i) + ":4840/";
+    ep.mode = mode;
+    ep.policy_uri = std::string(policy_info(policy).uri);
+    ep.policy = policy;
+    ep.policy_known = true;
+    ep.token_types = i % 3 == 0 ? std::vector<UserTokenType>{UserTokenType::Anonymous}
+                                : std::vector<UserTokenType>{UserTokenType::UserName};
+    if (with_cert) ep.certificate_der = cert;
+    host.endpoints.push_back(std::move(ep));
+  };
+  switch (i % 4) {
+    case 0: add_endpoint(MessageSecurityMode::None, SecurityPolicy::None, false); break;
+    case 1:
+      add_endpoint(MessageSecurityMode::None, SecurityPolicy::None, true);
+      add_endpoint(MessageSecurityMode::Sign, SecurityPolicy::Basic256, true);
+      break;
+    case 2:
+      add_endpoint(MessageSecurityMode::SignAndEncrypt, SecurityPolicy::Basic256Sha256, true);
+      break;
+    default:
+      add_endpoint(MessageSecurityMode::None, SecurityPolicy::None, true);
+      add_endpoint(MessageSecurityMode::SignAndEncrypt, SecurityPolicy::Basic256Sha256, true);
+      break;
+  }
+  host.channel = ChannelOutcome::established;
+  host.anonymous_offered = i % 3 == 0;
+  host.session = SessionOutcome::not_attempted;
+  host.bytes_sent = 40000 + (i % 1000);
+  host.duration_seconds = 90.0;
+  return host;
+}
+
+/// Per-query mean over `repeats` runs of the same request, microseconds.
+double timed_query_us(svc::QueryService& service, const svc::QueryRequest& request, int repeats) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) (void)service.execute(request);
+  return micros_since(start) / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_svc.json";
+  std::size_t hosts = 0;
+  std::size_t members = 6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
+      hosts = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--members") == 0 && i + 1 < argc) {
+      members = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+  }
+  if (hosts == 0) hosts = quick ? 15000 : 120000;
+  if (members < 3) members = 3;
+
+  obs::set_enabled(true);
+  obs::logf(obs::LogLevel::info, "[bench] study service: %zu hosts/member, %zu members", hosts,
+            members);
+
+  // ---- generate: base campaign + K-1 evolution steps ----------------------
+  const std::vector<Bytes> fleet = make_cert_fleet();
+  std::vector<std::string> paths;
+  for (std::size_t m = 0; m < members; ++m) {
+    paths.push_back("/tmp/opcua_svc_" + std::to_string(hosts) + "_m" + std::to_string(m) + ".bin");
+  }
+  CampaignSet set;
+  {
+    SnapshotWriter writer(paths[0], kBaseSeed);
+    writer.set_campaign("bench-svc-2020", days_from_civil({2020, 9, 11}));
+    writer.begin_snapshot(0, days_from_civil({2020, 9, 11}));
+    for (std::size_t i = 0; i < hosts; ++i) writer.add_host(make_host(i, fleet));
+    writer.end_snapshot(hosts * 2, hosts + hosts / 2);
+    writer.finish();
+  }
+  set.add_file(paths[0], kBaseSeed);
+  FollowupConfig config;
+  config.campaign_label = "bench-svc-followup";
+  config.mint_key_bits = 512;
+  config.key_cache_path = "";
+  for (std::size_t m = 1; m < members; ++m) {
+    extend_series(set, config, paths[m], kBaseSeed + m);
+  }
+
+  // ---- resident catalog + query service -----------------------------------
+  svc::CampaignCatalog catalog;
+  std::vector<std::string> names;
+  for (std::size_t m = 0; m < members; ++m) {
+    std::string name = "m";
+    name += std::to_string(m);
+    names.push_back(std::move(name));
+    catalog.register_campaign(names.back(), paths[m], m == 0 ? kBaseSeed : kBaseSeed + m);
+  }
+  svc::QueryServiceOptions service_options;
+  service_options.workers = 8;
+  svc::QueryService service(catalog, service_options);
+
+  // ---- cold vs cached query latency ---------------------------------------
+  const int repeats = quick ? 16 : 32;
+  svc::QueryRequest study_query;
+  study_query.kind = svc::QueryRequest::Kind::study;
+  study_query.campaign = "m0";
+  auto start = std::chrono::steady_clock::now();
+  (void)service.execute(study_query);
+  const double cold_study_us = micros_since(start);
+  const double cached_study_us = timed_query_us(service, study_query, repeats);
+
+  svc::QueryRequest posture_query;
+  posture_query.kind = svc::QueryRequest::Kind::posture;
+  posture_query.campaign = "m1";
+  start = std::chrono::steady_clock::now();
+  (void)service.execute(posture_query);
+  const double cold_posture_us = micros_since(start);
+  const double cached_posture_us = timed_query_us(service, posture_query, repeats);
+
+  // ---- incremental append vs full batch re-walk ---------------------------
+  // Resident series over members 0..K-2 (posture loads come from the
+  // sketch sidecars extend_series wrote, or the cache warmed above).
+  std::vector<std::string> initial(names.begin(), names.end() - 1);
+  catalog.register_series("history", initial);
+  start = std::chrono::steady_clock::now();
+  catalog.append_to_series("history", names.back());
+  const double incremental_append_us = micros_since(start);
+
+  SeriesOptions batch_options;
+  batch_options.threads = 1;
+  batch_options.use_sketches = false;
+  start = std::chrono::steady_clock::now();
+  const SeriesAnalysis batch = analyze_series(set, batch_options);
+  const double full_rewalk_us = micros_since(start);
+  const double incremental_speedup = full_rewalk_us / std::max(incremental_append_us, 1e-9);
+
+  const bool series_identical =
+      series_analysis_json(*catalog.series("history")) == series_analysis_json(batch);
+
+  // ---- pooled vs inline determinism ---------------------------------------
+  std::vector<std::string> battery = {
+      "kind=catalog",
+      "kind=posture campaign=m0 as_limit=8",
+      "kind=posture campaign=m1 deficient=1",
+      "kind=study campaign=m0",
+      "kind=diff base=m0 followup=m1",
+      "kind=series series=history",
+  };
+  bool pooled_equals_inline = true;
+  std::vector<std::future<svc::QueryResponse>> futures;
+  std::vector<svc::QueryRequest> requests;
+  for (const std::string& text : battery) {
+    requests.push_back(svc::parse_query_request(text));
+    futures.push_back(service.submit(requests.back()));
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pooled_equals_inline =
+        pooled_equals_inline && futures[i].get().body == service.execute(requests[i]).body;
+  }
+
+  for (const auto& path : paths) {
+    std::remove(path.c_str());
+    std::remove(posture_sketch_path(path).c_str());
+  }
+
+  // ---- report -------------------------------------------------------------
+  std::puts("Study-service query latency and incremental-series cost\n");
+  TextTable table;
+  table.set_header({"query", "cold us", "cached us", "speedup"});
+  table.add_row({"study m0", fmt_int(static_cast<long>(cold_study_us)),
+                 fmt_int(static_cast<long>(cached_study_us)),
+                 fmt_double(cold_study_us / std::max(cached_study_us, 1e-9), 1) + "x"});
+  table.add_row({"posture m1", fmt_int(static_cast<long>(cold_posture_us)),
+                 fmt_int(static_cast<long>(cached_posture_us)),
+                 fmt_double(cold_posture_us / std::max(cached_posture_us, 1e-9), 1) + "x"});
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nseries (%zu members): incremental append %s us, full re-walk %s us\n", members,
+              fmt_int(static_cast<long>(incremental_append_us)).c_str(),
+              fmt_int(static_cast<long>(full_rewalk_us)).c_str());
+
+  std::vector<ComparisonRow> rows = {
+      {"resident series == batch re-walk (report JSON bytes)", "equal",
+       series_identical ? "equal" : "MISMATCH", series_identical},
+      {"pooled == inline responses (8 workers)", "equal",
+       pooled_equals_inline ? "equal" : "MISMATCH", pooled_equals_inline},
+      {"incremental append vs full re-walk", ">= 4x", fmt_double(incremental_speedup, 1) + "x",
+       incremental_speedup >= 4.0},
+  };
+  std::fputs(render_comparison("Study service: resident vs batch", rows).c_str(), stdout);
+
+  // ---- machine-readable trajectory ----------------------------------------
+  {
+    JsonWriter json;
+    json.begin_object()
+        .field("quick", quick)
+        .field("hosts_per_member", static_cast<std::uint64_t>(hosts))
+        .field("members", static_cast<std::uint64_t>(members))
+        .field("cold_study_us", cold_study_us)
+        .field("cached_study_us", cached_study_us)
+        .field("study_cache_speedup", cold_study_us / std::max(cached_study_us, 1e-9))
+        .field("cold_posture_us", cold_posture_us)
+        .field("cached_posture_us", cached_posture_us)
+        .field("posture_cache_speedup", cold_posture_us / std::max(cached_posture_us, 1e-9))
+        .field("incremental_append_us", incremental_append_us)
+        .field("full_rewalk_us", full_rewalk_us)
+        .field("incremental_speedup", incremental_speedup)
+        .field("series_outputs_identical", series_identical)
+        .field("pooled_equals_inline", pooled_equals_inline)
+        .end_object();
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json.str();
+    obs::logf(obs::LogLevel::info, "[bench] wrote %s", json_path.c_str());
+  }
+
+  // Output identity and the incremental floor gate the exit code; raw
+  // latencies are host-dependent and guarded by the CI baseline check.
+  return series_identical && pooled_equals_inline && incremental_speedup >= 4.0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Shared command-line handling for the example programs.
+//
+// Every example takes the same tiny grammar: a few positional operands
+// plus "--" flags, with "--verbose" raising the log sink to debug. Each
+// example used to hand-roll the same argv loop; this helper owns it, so
+// flag handling (and its error behaviour) stays identical across the
+// example suite.
+//
+// Unknown flags are rejected with exit code 2 — a typo like "--verbsoe"
+// fails loudly instead of being silently swallowed as a positional.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace opcua_study::examples {
+
+class Cli {
+ public:
+  /// Parse argv. `known_flags` lists the extra flags this example accepts
+  /// (without the "--" prefix); "--verbose" is always accepted and wired
+  /// to the debug log level here.
+  Cli(int argc, char** argv, std::initializer_list<const char*> known_flags = {}) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        bool known = name == "verbose";
+        for (const char* flag : known_flags) known = known || name == flag;
+        if (!known) {
+          std::fprintf(stderr, "%s: unknown flag --%s\n", argv[0], name.c_str());
+          std::exit(2);
+        }
+        flags_.push_back(name);
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+    if (flag("verbose")) obs::set_log_level(obs::LogLevel::debug);
+  }
+
+  bool flag(const std::string& name) const {
+    for (const std::string& f : flags_) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Positional operand `index`, or `fallback` when absent.
+  std::string positional_or(std::size_t index, const std::string& fallback) const {
+    return index < positional_.size() ? positional_[index] : fallback;
+  }
+
+  /// Positional operand `index` as a number, or `fallback` when absent.
+  /// A malformed number fails loudly (exit 2) instead of parsing as 0.
+  long number_or(std::size_t index, long fallback) const {
+    if (index >= positional_.size()) return fallback;
+    const std::string& text = positional_[index];
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      std::fprintf(stderr, "expected a number, got '%s'\n", text.c_str());
+      std::exit(2);
+    }
+    return value;
+  }
+
+ private:
+  std::vector<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opcua_study::examples

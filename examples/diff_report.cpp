@@ -10,11 +10,11 @@
 //   ./build/diff_report [base-file [followup-file]] [--verbose]
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "diff/diff.hpp"
 #include "obs/log.hpp"
 #include "report/report.hpp"
@@ -70,16 +70,9 @@ void print_matrix(const char* title, const TransitionMatrix& m, const char* cons
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--verbose") == 0) {
-      obs::set_log_level(obs::LogLevel::debug);
-    } else {
-      paths.emplace_back(argv[i]);
-    }
-  }
-  const std::string base_path = !paths.empty() ? paths[0] : default_base_path();
-  const std::string followup_path = paths.size() > 1 ? paths[1] : ".opcua_study_followup.bin";
+  const examples::Cli cli(argc, argv);
+  const std::string base_path = cli.positional_or(0, default_base_path());
+  const std::string followup_path = cli.positional_or(1, ".opcua_study_followup.bin");
   FollowupConfig followup_config;
 
   std::uint64_t followup_seed = 0;

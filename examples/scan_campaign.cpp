@@ -12,10 +12,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 
 #include "assess/assess.hpp"
+#include "cli.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -29,19 +29,10 @@
 using namespace opcua_study;
 
 int main(int argc, char** argv) {
-  int hosts = 24;
-  bool want_trace = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--verbose") == 0) {
-      obs::set_log_level(obs::LogLevel::debug);
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      want_trace = true;
-    } else {
-      hosts = std::atoi(argv[i]);
-    }
-  }
+  const examples::Cli cli(argc, argv, {"trace"});
+  const int hosts = static_cast<int>(cli.number_or(0, 24));
   obs::set_enabled(true);
-  obs::set_trace_enabled(want_trace);
+  obs::set_trace_enabled(cli.flag("trace"));
   std::printf("== miniature scan campaign over %d OPC UA hosts ==\n", hosts);
 
   // Build a small population: a mix of the paper's archetypes.
@@ -168,7 +159,7 @@ int main(int argc, char** argv) {
   write_prometheus_textfile("TELEMETRY_metrics.prom", sample);
   std::printf("telemetry: %llu grabs kept -> TELEMETRY_report.json, TELEMETRY_metrics.prom\n",
               static_cast<unsigned long long>(sample[obs::Metric::grab_outcome].total()));
-  if (want_trace) {
+  if (cli.flag("trace")) {
     if (obs::dump_trace("TELEMETRY_trace.jsonl")) {
       std::printf("flight recorder: %zu events -> TELEMETRY_trace.jsonl\n",
                   obs::trace_collect().size());

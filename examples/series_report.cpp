@@ -14,11 +14,11 @@
 //   ./build/series_report [base-file [member-count]]
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "obs/log.hpp"
 #include "report/report.hpp"
 #include "series/series.hpp"
@@ -64,17 +64,9 @@ std::string member_name(const SnapshotMeta& meta) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--verbose") == 0) {
-      obs::set_log_level(obs::LogLevel::debug);
-    } else {
-      args.emplace_back(argv[i]);
-    }
-  }
-  const std::string base_path = !args.empty() ? args[0] : default_base_path();
-  const std::size_t member_count =
-      args.size() > 1 ? static_cast<std::size_t>(std::atoll(args[1].c_str())) : 4;
+  const examples::Cli cli(argc, argv);
+  const std::string base_path = cli.positional_or(0, default_base_path());
+  const std::size_t member_count = static_cast<std::size_t>(cli.number_or(1, 4));
   FollowupConfig config;
   config.campaign_label = "";  // derive followup-<k> per step
 

@@ -68,6 +68,12 @@ enum class Metric : std::uint16_t {
   diff_pass_wall_us,         // counter: diff_campaigns wall-clock µs
   series_pass_wall_us,       // counter: analyze_series wall-clock µs
   trace_events_dropped,      // counter: flight-recorder ring overflow
+  svc_queries,               // counter, per query kind: requests executed
+  svc_queries_rejected,      // counter: admission-control rejections
+  svc_cache_hits,            // counter, per artifact class
+  svc_cache_misses,          // counter, per artifact class
+  svc_query_us,              // histogram, per query kind: wall-clock latency
+  svc_resident_bytes,        // gauge: peak resident catalog bytes
   kCount,
 };
 
@@ -81,6 +87,12 @@ inline constexpr const char* kOutcomeCells[] = {
 };
 inline constexpr const char* kFaultCells[] = {"syn_drop", "listener_flap", "reset",
                                               "stall",    "truncate",      "timeout"};
+// Study-service dimensions: query kinds (QueryRequest::Kind order) and the
+// cached-artifact classes the catalog accounts hits/misses against.
+inline constexpr const char* kQueryKindCells[] = {"catalog", "posture", "study", "diff",
+                                                  "series"};
+inline constexpr const char* kArtifactCells[] = {"sketch", "postures", "study", "diff",
+                                                 "series"};
 
 struct MetricDef {
   const char* name;
@@ -148,6 +160,18 @@ inline constexpr MetricDef kMetricDefs[kMetricCount] = {
      "wall-clock microseconds per series analysis"},
     {"trace_events_dropped", MetricKind::counter, Stability::operational, 1, nullptr,
      "flight-recorder events overwritten by ring overflow"},
+    {"svc_queries", MetricKind::counter, Stability::operational, 5, kQueryKindCells,
+     "study-service queries executed, by kind"},
+    {"svc_queries_rejected", MetricKind::counter, Stability::operational, 1, nullptr,
+     "study-service queries refused by admission control"},
+    {"svc_cache_hits", MetricKind::counter, Stability::operational, 5, kArtifactCells,
+     "catalog artifact-cache hits, by artifact class"},
+    {"svc_cache_misses", MetricKind::counter, Stability::operational, 5, kArtifactCells,
+     "catalog artifact-cache misses (artifact computed), by artifact class"},
+    {"svc_query_us", MetricKind::histogram, Stability::operational, 5, kQueryKindCells,
+     "study-service query latency (wall clock)"},
+    {"svc_resident_bytes", MetricKind::gauge, Stability::operational, 1, nullptr,
+     "peak resident bytes held by the campaign catalog"},
 };
 
 inline constexpr const MetricDef& metric_def(Metric m) {

@@ -78,6 +78,7 @@ const char* trace_event_name(TraceEvent event) {
     case TraceEvent::campaign_end: return "campaign_end";
     case TraceEvent::unit_sealed: return "unit_sealed";
     case TraceEvent::unit_failed: return "unit_failed";
+    case TraceEvent::query_executed: return "query_executed";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class TraceEvent : std::uint8_t {
   campaign_end,     // a = kept host records
   unit_sealed,      // a = kept hosts, b = probes sent (checkpoint segment sealed)
   unit_failed,      // a = week, b = shard (checkpoint worker threw)
+  query_executed,   // a = QueryRequest::Kind, b = response bytes (study service)
 };
 
 const char* trace_event_name(TraceEvent event);

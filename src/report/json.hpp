@@ -103,8 +103,20 @@ class JsonWriter {
   void quote(const std::string& s) {
     out_ << '"';
     for (const char c : s) {
-      if (c == '"' || c == '\\') out_ << '\\';
-      out_ << c;
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        case '\r': out_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            static const char* hex = "0123456789abcdef";
+            out_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+          } else {
+            out_ << c;
+          }
+      }
     }
     out_ << '"';
   }

@@ -85,11 +85,47 @@ std::string telemetry_json(const obs::MetricsSample& sample,
   return json.str();
 }
 
-std::string telemetry_prometheus(const obs::MetricsSample& sample, bool include_operational) {
+std::string prometheus_escape_label(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+namespace {
+
+/// Joined label pairs ("a=\"x\",b=\"y\"") — empty fragments drop out.
+std::string join_labels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+std::string braced(const std::string& labels) {
+  return labels.empty() ? std::string() : "{" + labels + "}";
+}
+
+}  // namespace
+
+std::string telemetry_prometheus(const obs::MetricsSample& sample,
+                                 const TelemetryReportOptions& options) {
+  // Every label *value* below is escaped — the campaign label is caller
+  // data, and escaping the compile-time cell names too costs nothing.
+  const std::string campaign =
+      options.campaign_label.empty()
+          ? std::string()
+          : "campaign=\"" + prometheus_escape_label(options.campaign_label) + "\"";
   std::string out;
   for (std::size_t i = 0; i < kMetricCount; ++i) {
     const MetricDef& def = kMetricDefs[i];
-    if (def.stability == Stability::operational && !include_operational) continue;
+    if (def.stability == Stability::operational && !options.include_operational) continue;
     const MetricValue& value = sample.metrics[i];
     const std::string name = "opcua_study_" + std::string(def.name);
     out += "# HELP " + name + " " + def.help + "\n";
@@ -98,31 +134,41 @@ std::string telemetry_prometheus(const obs::MetricsSample& sample, bool include_
       for (unsigned c = 0; c < def.cells; ++c) {
         const obs::HistogramValue& hist = value.hists[c];
         const std::string cell =
-            def.cells == 1 ? std::string() : "cell=\"" + cell_name(def, c) + "\"";
+            def.cells == 1
+                ? std::string()
+                : "cell=\"" + prometheus_escape_label(cell_name(def, c)) + "\"";
+        const std::string base = join_labels(campaign, cell);
         std::uint64_t cumulative = 0;
         for (std::size_t b = 0; b < kHistBucketCount; ++b) {
           cumulative += hist.buckets[b];
-          out += name + "_bucket{" + cell + (cell.empty() ? "" : ",") +
-                 "le=\"" + std::to_string(kHistBounds[b]) + "\"} " +
+          out += name + "_bucket{" +
+                 join_labels(base, "le=\"" + std::to_string(kHistBounds[b]) + "\"") + "} " +
                  std::to_string(cumulative) + "\n";
         }
         cumulative += hist.buckets[kHistBucketCount];
-        out += name + "_bucket{" + cell + (cell.empty() ? "" : ",") + "le=\"+Inf\"} " +
+        out += name + "_bucket{" + join_labels(base, "le=\"+Inf\"") + "} " +
                std::to_string(cumulative) + "\n";
-        const std::string suffix = cell.empty() ? "" : "{" + cell + "}";
-        out += name + "_sum" + suffix + " " + std::to_string(hist.sum) + "\n";
-        out += name + "_count" + suffix + " " + std::to_string(hist.count) + "\n";
+        out += name + "_sum" + braced(base) + " " + std::to_string(hist.sum) + "\n";
+        out += name + "_count" + braced(base) + " " + std::to_string(hist.count) + "\n";
       }
       continue;
     }
     out += "# TYPE " + name + (def.kind == MetricKind::gauge ? " gauge\n" : " counter\n");
     for (unsigned c = 0; c < def.cells; ++c) {
-      const std::string suffix =
-          def.cells == 1 ? std::string() : "{cell=\"" + cell_name(def, c) + "\"}";
-      out += name + suffix + " " + std::to_string(value.cells[c]) + "\n";
+      const std::string cell =
+          def.cells == 1 ? std::string()
+                         : "cell=\"" + prometheus_escape_label(cell_name(def, c)) + "\"";
+      out += name + braced(join_labels(campaign, cell)) + " " +
+             std::to_string(value.cells[c]) + "\n";
     }
   }
   return out;
+}
+
+std::string telemetry_prometheus(const obs::MetricsSample& sample, bool include_operational) {
+  TelemetryReportOptions options;
+  options.include_operational = include_operational;
+  return telemetry_prometheus(sample, options);
 }
 
 namespace {
@@ -143,8 +189,15 @@ void write_telemetry_report(const std::string& path, const obs::MetricsSample& s
 }
 
 void write_prometheus_textfile(const std::string& path, const obs::MetricsSample& sample,
+                               const TelemetryReportOptions& options) {
+  write_text(path, telemetry_prometheus(sample, options), "prometheus textfile");
+}
+
+void write_prometheus_textfile(const std::string& path, const obs::MetricsSample& sample,
                                bool include_operational) {
-  write_text(path, telemetry_prometheus(sample, include_operational), "prometheus textfile");
+  TelemetryReportOptions options;
+  options.include_operational = include_operational;
+  write_prometheus_textfile(path, sample, options);
 }
 
 }  // namespace opcua_study

@@ -24,15 +24,29 @@ struct TelemetryReportOptions {
 std::string telemetry_json(const obs::MetricsSample& sample,
                            const TelemetryReportOptions& options = {});
 
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline become \\, \" and \n. Every label
+/// value emitted below goes through this — a hostile campaign label can
+/// not break the exposition apart.
+std::string prometheus_escape_label(const std::string& value);
+
 /// Prometheus text exposition (`# HELP`/`# TYPE` + samples). Metric names
 /// are prefixed `opcua_study_`; labeled cells use a single `cell` label,
-/// histograms emit cumulative `_bucket{le=...}`, `_sum`, `_count`.
+/// histograms emit cumulative `_bucket{le=...}`, `_sum`, `_count`. A
+/// non-empty options.campaign_label stamps an escaped `campaign` label
+/// onto every sample line.
+std::string telemetry_prometheus(const obs::MetricsSample& sample,
+                                 const TelemetryReportOptions& options);
+/// Back-compat overload: no campaign label; output is byte-identical to
+/// the options overload with an empty campaign_label.
 std::string telemetry_prometheus(const obs::MetricsSample& sample,
                                  bool include_operational = false);
 
 void write_telemetry_report(const std::string& path, const obs::MetricsSample& sample,
                             const TelemetryReportOptions& options = {});
 
+void write_prometheus_textfile(const std::string& path, const obs::MetricsSample& sample,
+                               const TelemetryReportOptions& options);
 void write_prometheus_textfile(const std::string& path, const obs::MetricsSample& sample,
                                bool include_operational = false);
 

@@ -1407,6 +1407,32 @@ std::uint64_t SnapshotReader::total_records() const {
   return total;
 }
 
+std::uint64_t SnapshotReader::file_fingerprint() const {
+  // Folds the validated structural metadata — format version, every
+  // measurement's identity/counters, the complete chunk index, and the
+  // dictionary shape — into one 64-bit value. Snapshot output is a pure
+  // function of (records, seed), so any record change moves a chunk
+  // payload size or host count and therefore the fingerprint; sidecar
+  // files (posture sketches) staple themselves to this value to detect a
+  // swapped or rewritten snapshot without re-reading record bytes.
+  std::string acc = "snapshot-fp:v" + std::to_string(version_);
+  for (const auto& meta : snapshots_) {
+    acc += ';';
+    acc += std::to_string(meta.measurement_index) + ',' + std::to_string(meta.date_days) + ',' +
+           std::to_string(meta.probes_sent) + ',' + std::to_string(meta.tcp_open_count) + ',' +
+           std::to_string(meta.host_count) + ',' + meta.campaign_label + ',' +
+           std::to_string(meta.campaign_epoch_days) + ',' + std::to_string(meta.protocol_mask);
+  }
+  for (const auto& chunk : chunks_) {
+    acc += '|';
+    acc += std::to_string(chunk.snapshot_ordinal) + ',' + std::to_string(chunk.record_count) +
+           ',' + std::to_string(chunk.file_offset) + ',' + std::to_string(chunk.payload_bytes);
+  }
+  acc += "#dict:" + std::to_string(dict_.size());
+  for (const auto& entry : dict_) acc += ',' + std::to_string(entry.fp64);
+  return hash64(acc);
+}
+
 std::vector<HostScanRecord> SnapshotReader::read_chunk(std::size_t chunk_index) const {
   std::vector<HostScanRecord> records;
   read_chunk(chunk_index, records);

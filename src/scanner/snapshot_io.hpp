@@ -317,6 +317,15 @@ class SnapshotReader {
   const std::vector<SnapshotChunkInfo>& chunks() const { return chunks_; }
   std::uint64_t total_records() const;
 
+  /// 64-bit digest of the file's validated structure (format version,
+  /// measurement metas, chunk index, certificate-dictionary fingerprints).
+  /// Snapshot bytes are a pure function of (records, seed), so two files
+  /// with equal fingerprints carry the same records for all practical
+  /// purposes — this is the staleness check sidecar files (posture
+  /// sketches, src/series/sketch.hpp) validate against before their
+  /// contents are allowed to stand in for a record walk.
+  std::uint64_t file_fingerprint() const;
+
   /// Decode one chunk into records (throws SnapshotError / DecodeError on
   /// corrupt payload bytes).
   std::vector<HostScanRecord> read_chunk(std::size_t chunk_index) const;

@@ -31,6 +31,7 @@
 #include <memory>
 
 #include "diff/diff.hpp"
+#include "series/matcher.hpp"
 
 namespace opcua_study {
 
@@ -62,6 +63,9 @@ class CampaignSet {
     const RecordSource& source() const { return *source_; }
     /// Final-measurement metadata with the member annotation applied.
     const SnapshotMeta& final_meta() const { return final_meta_; }
+    /// Backing SnapshotReader for file members (nullptr for in-memory
+    /// members) — what sketch validation fingerprints against.
+    const SnapshotReader* reader() const { return reader_.get(); }
 
    private:
     friend class CampaignSet;
@@ -115,6 +119,12 @@ struct SeriesOptions {
   bool validate_ordering = true;
   /// Chunk size when streaming in-memory members.
   std::uint32_t chunk_records = SnapshotWriter::kDefaultChunkRecords;
+  /// Load posture sketch sidecars (src/series/sketch.hpp) for file-backed
+  /// members instead of re-walking their records. A missing sidecar falls
+  /// back to the posture pass; a *stale* one (snapshot fingerprint
+  /// mismatch) throws SnapshotError — stale postures are never served.
+  /// The resulting analysis is byte-identical either way.
+  bool use_sketches = true;
 };
 
 /// One point of the fleet growth/churn curve.
@@ -141,6 +151,9 @@ struct SeriesMemberStats {
 struct TimelineStats {
   std::uint64_t total = 0;      // distinct host identities observed
   std::uint64_t full_span = 0;  // observed in every member
+  /// Timelines still alive at the last member — their true span is
+  /// right-censored by the end of observation, not by host churn.
+  std::uint64_t censored = 0;
   /// length_histogram[len] = timelines observed in exactly `len`
   /// consecutive members (index 0 unused).
   std::vector<std::uint64_t> length_histogram;
@@ -159,6 +172,9 @@ struct RemediationStats {
   std::uint64_t remediated = 0;        // sum of steps_to_secure
   std::uint64_t never_remediated = 0;  // timeline ended still insecure
   std::uint64_t relapsed = 0;          // reached secure, later dropped below
+  /// Of never_remediated: timelines still observed at the last member —
+  /// censored, not known-failed (the host may yet remediate).
+  std::uint64_t censored = 0;
 
   friend bool operator==(const RemediationStats&, const RemediationStats&) = default;
 };
@@ -182,6 +198,64 @@ struct SeriesAnalysis {
   friend bool operator==(const SeriesAnalysis&, const SeriesAnalysis&) = default;
 };
 
+/// Incremental series accumulator — the engine under analyze_series and
+/// the study service's resident series.
+///
+/// Members are fed one at a time as (final-measurement meta, posture
+/// vector) pairs; each add matches against the *previous* member's
+/// retained postures, tallies the step diff, and advances the per-host
+/// timelines. Appending member N+1 therefore costs one posture pass
+/// (done by the caller — usually a sketch load) plus one match,
+/// independent of how many members came before: earlier members are
+/// never re-walked. analysis() closes a *copy* of the live timelines, so
+/// it can be called after every add and the builder keeps growing.
+///
+/// Determinism: feeding the same (meta, postures) sequence produces a
+/// SeriesAnalysis identical to analyze_series over the equivalent
+/// CampaignSet — the batch path is literally this builder fed from
+/// collect_postures.
+class SeriesBuilder {
+ public:
+  /// `validate_ordering`: enforce validate_campaign_chain over the metas
+  /// seen so far on every add (the offending add throws, leaving the
+  /// builder unchanged).
+  explicit SeriesBuilder(bool validate_ordering = true);
+
+  /// Append the next campaign. `postures` must be the record-ordered
+  /// collect_postures output of the member's final measurement.
+  void add_member(SnapshotMeta final_meta, std::vector<HostPosture> postures);
+
+  std::size_t size() const { return finals_.size(); }
+  const std::vector<SnapshotMeta>& finals() const { return finals_; }
+
+  /// The analysis over every member added so far (throws SnapshotError
+  /// below two members). Closes live timelines into a copy; the builder
+  /// itself is untouched and can keep accepting members.
+  SeriesAnalysis analysis() const;
+
+  /// Heap bytes retained by the builder (postures + timelines + partial
+  /// analysis) — the study service's resident-size accounting.
+  std::size_t resident_bytes() const;
+
+ private:
+  /// Live per-timeline state; closed into the histograms when the host
+  /// fails to match into the next member (or, censored, at analysis()).
+  struct Timeline {
+    std::uint32_t first_member = 0;
+    std::uint32_t length = 0;
+    bool started_insecure = false;   // policy bucket below secure at first obs
+    std::int32_t secure_after = -1;  // steps from first obs to first secure obs
+    bool relapsed = false;
+  };
+  void close_timeline(SeriesAnalysis& out, const Timeline& state, bool censored) const;
+
+  bool validate_ordering_;
+  std::vector<SnapshotMeta> finals_;
+  std::vector<HostPosture> current_;   // previous member's postures
+  std::vector<Timeline> active_;       // one per host of the previous member
+  SeriesAnalysis acc_;                 // closed-timeline totals + members/steps
+};
+
 /// Analyze an N-campaign series. Throws SnapshotError when the set has
 /// fewer than two members, a member holds no measurement, a file member
 /// fails to open, or (validate_ordering) the campaign chain is invalid.
@@ -193,5 +267,10 @@ SeriesAnalysis analyze_series(const CampaignSet& set, const SeriesOptions& optio
 /// The machine-readable series report (SERIES_report.json shape):
 /// members, per-step diffs, timelines, remediation, evidence grading.
 std::string series_analysis_json(const SeriesAnalysis& analysis);
+
+/// Append the series-report fields to an already-open JSON object — the
+/// shared emitter under series_analysis_json and the study service's
+/// series query.
+void append_series_analysis_fields(JsonWriter& json, const SeriesAnalysis& analysis);
 
 }  // namespace opcua_study

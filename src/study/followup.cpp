@@ -1,5 +1,6 @@
 #include "study/followup.hpp"
 
+#include "series/sketch.hpp"
 #include "util/rng.hpp"
 
 namespace opcua_study {
@@ -142,6 +143,11 @@ SnapshotMeta extend_series(CampaignSet& set, const FollowupConfig& config,
     writer.finish();
   }
   shell.host_count = hosts;
+  // Cut the new member's posture sketch now, while the file is hot: one
+  // posture pass here is what lets every later series append load the
+  // sidecar instead of re-walking the member.
+  ThreadPool inline_pool(1);
+  ensure_posture_sketch(path, file_seed, inline_pool);
   set.add_file(path, file_seed);
   return shell;
 }

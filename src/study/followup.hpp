@@ -67,9 +67,12 @@ void evolve_final_measurement(const RecordSource& base, const FollowupConfig& co
 /// set state, so file-backed and in-memory series are interchangeable.
 SnapshotMeta extend_series(CampaignSet& set, const FollowupConfig& config);
 
-/// File-backed variant: the evolved member is streamed into a v5 snapshot
+/// File-backed variant: the evolved member is streamed into a snapshot
 /// file at `path` under `file_seed` and appended to the set as a file
-/// member.
+/// member. A posture sketch sidecar (`<path>.sketch`) is written
+/// alongside — the one posture pass the incremental-series contract
+/// allows for a new member happens here, so later appends to a resident
+/// series load the sidecar instead of re-walking the file.
 SnapshotMeta extend_series(CampaignSet& set, const FollowupConfig& config,
                            const std::string& path, std::uint64_t file_seed);
 

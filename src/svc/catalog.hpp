@@ -1,0 +1,138 @@
+// Campaign catalog — the resident data plane of the study service.
+//
+// The batch pipeline re-walks snapshot files per report; the catalog
+// instead keeps every registered campaign's SnapshotReader open for its
+// whole lifetime (v6 files stay memory-mapped, so column reads are
+// zero-copy and concurrent readers never race) and caches the derived
+// immutable artifacts — posture vectors, StudyAnalysis, CampaignDiff,
+// SeriesAnalysis — behind a shared-nothing read path: every artifact is
+// computed exactly once, published as shared_ptr<const T>, and then only
+// ever read. Queries that race on a cold artifact dedupe through a
+// shared_future (one computes, the rest wait on the same result), so an
+// artifact is never computed twice and every caller observes the same
+// object. A computation that throws stays cached as that exception:
+// repeating the failing query deterministically re-raises the same
+// error instead of retrying the work.
+//
+// Series are resident SeriesBuilders. Registering a series feeds each
+// member's posture vector (sketch sidecar when present and valid —
+// src/series/sketch.hpp; a stale sidecar is a hard error) into a
+// builder; appending a campaign later costs one posture load plus one
+// match, never a re-walk of earlier members. The SeriesAnalysis snapshot
+// is refreshed at each append (closing live timelines is cheap next to a
+// member walk), so series queries are pure pointer reads and a query
+// racing an append sees either the old or the new immutable snapshot —
+// never a half-updated one.
+//
+// Lifetime rules: registration is append-only — campaigns and series are
+// never evicted, readers live as long as the catalog, and artifact
+// pointers handed out remain valid (and immutable) after the catalog is
+// destroyed. Cache hits/misses and peak resident bytes are accounted in
+// obs:: (svc_cache_hits / svc_cache_misses / svc_resident_bytes).
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "diff/diff.hpp"
+#include "series/series.hpp"
+
+namespace opcua_study::svc {
+
+struct CatalogOptions {
+  /// Worker threads for posture/analysis passes on cache misses; 0 =
+  /// hardware concurrency, 1 = inline. Artifacts are identical for any
+  /// value.
+  int analysis_threads = 1;
+  /// Serve posture vectors from sketch sidecars when present and valid
+  /// (a stale sidecar throws — see read_posture_sketch).
+  bool use_sketches = true;
+  /// Cut a sidecar after a posture pass that found none, so the next
+  /// cold start of this catalog skips the walk.
+  bool write_sketches = true;
+};
+
+class CampaignCatalog {
+ public:
+  explicit CampaignCatalog(CatalogOptions options = {});
+  ~CampaignCatalog();
+
+  CampaignCatalog(const CampaignCatalog&) = delete;
+  CampaignCatalog& operator=(const CampaignCatalog&) = delete;
+
+  /// Open the snapshot file at `path` (validated eagerly — a bad path or
+  /// seed throws here, not at first query) and register it under `name`.
+  /// Throws SnapshotError when the name is taken or the file is empty.
+  void register_campaign(const std::string& name, const std::string& path, std::uint64_t seed);
+
+  /// Build a resident series from already-registered campaigns, in the
+  /// given order (chain-validated member by member). Costs one posture
+  /// load per member — the members' earlier artifacts are reused.
+  void register_series(const std::string& name, const std::vector<std::string>& campaigns);
+
+  /// Append one registered campaign to a resident series: one posture
+  /// load plus one match, regardless of the series' current length.
+  /// Returns the new member count.
+  std::size_t append_to_series(const std::string& series, const std::string& campaign);
+
+  std::vector<std::string> campaign_names() const;  // registration order
+  std::vector<std::string> series_names() const;    // registration order
+  std::vector<std::string> series_members(const std::string& series) const;
+  /// Final-measurement identity of a registered campaign.
+  SnapshotMeta final_meta(const std::string& campaign) const;
+  const SnapshotReader& reader(const std::string& campaign) const;
+
+  // Cached artifacts. Each is computed at most once (racing callers
+  // dedupe), immutable once published, and safe to hold past the call.
+  std::shared_ptr<const std::vector<HostPosture>> postures(const std::string& campaign);
+  std::shared_ptr<const StudyAnalysis> study(const std::string& campaign);
+  std::shared_ptr<const CampaignDiff> diff(const std::string& base, const std::string& followup);
+  std::shared_ptr<const SeriesAnalysis> series(const std::string& series);
+
+  /// Estimated heap/mapping bytes held resident: snapshot payloads,
+  /// cached posture vectors, live series builders.
+  std::size_t resident_bytes() const;
+
+ private:
+  struct CampaignEntry {
+    std::string path;
+    std::uint64_t seed = 0;
+    std::unique_ptr<SnapshotReader> reader;
+  };
+  struct SeriesEntry {
+    std::vector<std::string> members;
+    SeriesBuilder builder{true};
+    /// Immutable analysis snapshot, refreshed at each append; null until
+    /// the series holds two members.
+    std::shared_ptr<const SeriesAnalysis> latest;
+  };
+  template <typename T>
+  using Cache = std::map<std::string, std::shared_future<std::shared_ptr<const T>>>;
+
+  const CampaignEntry& entry(const std::string& campaign) const;  // throws on unknown
+  /// get-or-compute through `cache`: the first caller for `key` computes
+  /// on its own thread with the lock released; racing callers block on
+  /// the same shared_future. A throwing compute stays cached as its
+  /// exception.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> cached(Cache<T>& cache, const std::string& key, unsigned artifact_cell,
+                                  Fn compute);
+  void note_resident_bytes() const;
+
+  CatalogOptions options_;
+  mutable std::mutex mutex_;  // registries + caches + series builders
+  std::map<std::string, CampaignEntry> campaigns_;
+  std::vector<std::string> campaign_order_;
+  std::map<std::string, SeriesEntry> series_;
+  std::vector<std::string> series_order_;
+  Cache<std::vector<HostPosture>> posture_cache_;
+  Cache<StudyAnalysis> study_cache_;
+  Cache<CampaignDiff> diff_cache_;  // key: base + '\x1f' + followup
+};
+
+}  // namespace opcua_study::svc

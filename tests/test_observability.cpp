@@ -437,6 +437,22 @@ TEST(Observability, ExpositionFormatsAndDisabledPlane) {
   // non-deterministic (no timestamps, no map iteration order).
   EXPECT_EQ(telemetry_json(sample), telemetry_json(obs::collect()));
 
+  // Label values are escaped per the exposition format: backslash, quote
+  // and newline can never break a sample line apart.
+  EXPECT_EQ(prometheus_escape_label("plain-label"), "plain-label");
+  EXPECT_EQ(prometheus_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  TelemetryReportOptions hostile;
+  hostile.campaign_label = "week\"1\\2\n3";
+  const std::string labeled = telemetry_prometheus(sample, hostile);
+  EXPECT_NE(labeled.find("campaign=\"week\\\"1\\\\2\\n3\""), std::string::npos);
+  EXPECT_EQ(labeled.find('\n' + std::string("3\"")), std::string::npos);  // no raw newline
+  EXPECT_NE(labeled.find("opcua_study_grab_outcome{campaign=\"week\\\"1\\\\2\\n3\","
+                         "cell=\"opcua/complete\"} 3"),
+            std::string::npos);
+  // The label-free overload stays byte-identical to an empty label.
+  TelemetryReportOptions unlabeled;
+  EXPECT_EQ(telemetry_prometheus(sample, unlabeled), telemetry_prometheus(sample, false));
+
   // Disabled plane: every record site is a no-op, not an error.
   obs::reset();
   obs::set_enabled(false);
